@@ -1,0 +1,356 @@
+package nfsrdma
+
+// One benchmark per table and figure of the paper's evaluation (§5). Each
+// bench regenerates its experiment on the simulated testbed and reports the
+// headline numbers as custom metrics (units are simulated MB/s, ops/s or
+// CPU %). Absolute values are calibrated reproductions of the published
+// *shapes*; EXPERIMENTS.md holds the full paper-vs-measured tables
+// (regenerate with cmd/nfsrdma-experiments).
+//
+// The benches run at a reduced workload scale to keep wall-clock time
+// reasonable; the experiment harness accepts Scale(1) for paper-size runs.
+
+import (
+	"testing"
+)
+
+const benchScale = ExperimentScale(8)
+
+// BenchmarkTable1_PrimitiveProperties verifies and renders the
+// communication-primitive property matrix (the semantics themselves are
+// asserted by internal/ibsim's tests).
+func BenchmarkTable1_PrimitiveProperties(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := Table1()
+		if t == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+// BenchmarkFigure5_SolarisReadRRvsRW regenerates Fig. 5: IOzone Read
+// bandwidth, Read-Read vs Read-Write, Solaris tmpfs, direct I/O.
+func BenchmarkFigure5_SolarisReadRRvsRW(b *testing.B) {
+	var rr8, rw8, rr1, rw1 float64
+	for i := 0; i < b.N; i++ {
+		r := RunFigure5and6(benchScale)
+		for _, pt := range r.Points {
+			if pt.RecordSize != 128<<10 {
+				continue
+			}
+			switch {
+			case pt.Threads == 8 && pt.Design == DesignReadRead:
+				rr8 = pt.Result.Read.MBps
+			case pt.Threads == 8 && pt.Design == DesignReadWrite:
+				rw8 = pt.Result.Read.MBps
+			case pt.Threads == 1 && pt.Design == DesignReadRead:
+				rr1 = pt.Result.Read.MBps
+			case pt.Threads == 1 && pt.Design == DesignReadWrite:
+				rw1 = pt.Result.Read.MBps
+			}
+		}
+	}
+	b.ReportMetric(rr8, "RR-128K@8thr-MB/s")          // paper: ~375
+	b.ReportMetric(rw8, "RW-128K@8thr-MB/s")          // paper: ~400
+	b.ReportMetric(rw1/rr1*100-100, "RW-gain@1thr-%") // paper: ~47
+	if rw8 <= rr8 {
+		b.Errorf("Read-Write (%.0f) should beat Read-Read (%.0f) at saturation", rw8, rr8)
+	}
+}
+
+// BenchmarkFigure6_SolarisWriteRRvsRW regenerates Fig. 6: IOzone Write
+// bandwidth plus the client CPU divergence (Read-Read's copies vs the
+// Read-Write zero-copy direct-I/O path).
+func BenchmarkFigure6_SolarisWriteRRvsRW(b *testing.B) {
+	var wrRR, wrRW, cpuRR, cpuRW float64
+	for i := 0; i < b.N; i++ {
+		r := RunFigure5and6(benchScale)
+		for _, pt := range r.Points {
+			if pt.Threads != 8 || pt.RecordSize != 128<<10 {
+				continue
+			}
+			if pt.Design == DesignReadRead {
+				wrRR = pt.Result.Write.MBps
+				cpuRR = pt.Result.Read.ClientCPUPct
+			} else {
+				wrRW = pt.Result.Write.MBps
+				cpuRW = pt.Result.Read.ClientCPUPct
+			}
+		}
+	}
+	b.ReportMetric(wrRR, "RR-write@8thr-MB/s")
+	b.ReportMetric(wrRW, "RW-write@8thr-MB/s")
+	b.ReportMetric(cpuRR, "RR-clientCPU-%") // paper: ~24
+	b.ReportMetric(cpuRW, "RW-clientCPU-%") // paper: ~5
+	if cpuRR <= cpuRW {
+		b.Errorf("Read-Read client CPU (%.1f%%) should exceed Read-Write (%.1f%%)", cpuRR, cpuRW)
+	}
+}
+
+// BenchmarkFigure7_SolarisRegistrationStrategies regenerates Fig. 7:
+// dynamic registration vs FMR vs the buffer registration cache on Solaris.
+func BenchmarkFigure7_SolarisRegistrationStrategies(b *testing.B) {
+	var reg, fmr, cache, cacheW float64
+	for i := 0; i < b.N; i++ {
+		r := RunFigure7(benchScale)
+		for _, pt := range r.Points {
+			if pt.Threads != 8 {
+				continue
+			}
+			switch pt.Mode {
+			case RegDynamic:
+				reg = pt.Result.Read.MBps
+			case RegFMR:
+				fmr = pt.Result.Read.MBps
+			case RegCache:
+				cache = pt.Result.Read.MBps
+				cacheW = pt.Result.Write.MBps
+			}
+		}
+	}
+	b.ReportMetric(reg, "Register-read-MB/s")  // paper: ~350
+	b.ReportMetric(fmr, "FMR-read-MB/s")       // paper: ~400
+	b.ReportMetric(cache, "Cache-read-MB/s")   // paper: ~730
+	b.ReportMetric(cacheW, "Cache-write-MB/s") // paper: ~515
+	if !(cache > fmr && fmr > reg) {
+		b.Errorf("ordering violated: cache %.0f, fmr %.0f, register %.0f", cache, fmr, reg)
+	}
+}
+
+// BenchmarkFigure8_OLTPRegistrationSchemes regenerates Fig. 8: the
+// FileBench-style OLTP mix under the registration schemes.
+func BenchmarkFigure8_OLTPRegistrationSchemes(b *testing.B) {
+	var regOps, fmrOps, cacheOps, cacheUS float64
+	for i := 0; i < b.N; i++ {
+		r := RunFigure8(benchScale)
+		last := func(mode RegMode) (float64, float64) {
+			pts := r.Series[mode]
+			if len(pts) == 0 {
+				return 0, 0
+			}
+			p := pts[len(pts)-1]
+			return p.Result.OpsPerSec, p.Result.ClientUSPerOp
+		}
+		regOps, _ = last(RegDynamic)
+		fmrOps, _ = last(RegFMR)
+		cacheOps, cacheUS = last(RegCache)
+	}
+	b.ReportMetric(regOps, "Register-ops/s")
+	b.ReportMetric(fmrOps, "FMR-ops/s")
+	b.ReportMetric(cacheOps, "Cache-ops/s")
+	b.ReportMetric(cacheUS, "Cache-uscpu/op")
+	b.ReportMetric(cacheOps/regOps*100-100, "Cache-gain-%") // paper: up to ~50
+	if cacheOps <= regOps {
+		b.Errorf("cache (%.0f ops/s) should beat dynamic registration (%.0f ops/s)", cacheOps, regOps)
+	}
+}
+
+// BenchmarkFigure9_LinuxRegistrationStrategies regenerates Fig. 9: on
+// Linux, all-physical registration wins READ but loses WRITE to FMR
+// (physical fragmentation pressing the IRD/ORD limit).
+func BenchmarkFigure9_LinuxRegistrationStrategies(b *testing.B) {
+	var regR, fmrR, physR, fmrW, physW float64
+	for i := 0; i < b.N; i++ {
+		r := RunFigure9(benchScale)
+		for _, pt := range r.Points {
+			if pt.Threads != 8 {
+				continue
+			}
+			switch pt.Mode {
+			case RegDynamic:
+				regR = pt.Result.Read.MBps
+			case RegFMR:
+				fmrR = pt.Result.Read.MBps
+				fmrW = pt.Result.Write.MBps
+			case RegAllPhysical:
+				physR = pt.Result.Read.MBps
+				physW = pt.Result.Write.MBps
+			}
+		}
+	}
+	b.ReportMetric(regR, "Register-read-MB/s")
+	b.ReportMetric(fmrR, "FMR-read-MB/s")
+	b.ReportMetric(physR, "AllPhysical-read-MB/s") // paper: best, ~900
+	b.ReportMetric(fmrW, "FMR-write-MB/s")
+	b.ReportMetric(physW, "AllPhysical-write-MB/s") // paper: below FMR
+	if physR <= fmrR || physR <= regR {
+		b.Errorf("all-physical read (%.0f) should be best (fmr %.0f, register %.0f)", physR, fmrR, regR)
+	}
+	if physW >= fmrW {
+		b.Errorf("all-physical write (%.0f) should lose to FMR (%.0f)", physW, fmrW)
+	}
+}
+
+// BenchmarkFigure10a_MultiClient4GB regenerates Fig. 10(a): multi-client
+// aggregate read bandwidth against the RAID back end with a 4 GB server.
+func BenchmarkFigure10a_MultiClient4GB(b *testing.B) {
+	var rdmaPeak, rdmaTail, ipoib, gige float64
+	for i := 0; i < b.N; i++ {
+		r := RunFigure10(benchScale, 4<<30, 5)
+		for _, pt := range r.Series[TransportRDMA] {
+			if pt.Result.AggregateReadMBps > rdmaPeak {
+				rdmaPeak = pt.Result.AggregateReadMBps
+			}
+			rdmaTail = pt.Result.AggregateReadMBps
+		}
+		for _, pt := range r.Series[TransportIPoIB] {
+			if pt.Result.AggregateReadMBps > ipoib {
+				ipoib = pt.Result.AggregateReadMBps
+			}
+		}
+		for _, pt := range r.Series[TransportGigE] {
+			if pt.Result.AggregateReadMBps > gige {
+				gige = pt.Result.AggregateReadMBps
+			}
+		}
+	}
+	b.ReportMetric(rdmaPeak, "RDMA-peak-MB/s") // paper: 883
+	b.ReportMetric(rdmaTail, "RDMA-tail-MB/s") // paper: declines past 3 clients
+	b.ReportMetric(ipoib, "IPoIB-peak-MB/s")   // paper: 326
+	b.ReportMetric(gige, "GigE-peak-MB/s")     // paper: 107
+	if rdmaPeak <= ipoib || ipoib <= gige {
+		b.Errorf("ordering violated: rdma %.0f, ipoib %.0f, gige %.0f", rdmaPeak, ipoib, gige)
+	}
+	if rdmaTail >= rdmaPeak/2 {
+		b.Errorf("RDMA should collapse once the working set overflows the cache (peak %.0f, tail %.0f)", rdmaPeak, rdmaTail)
+	}
+}
+
+// BenchmarkFigure10b_MultiClient8GB regenerates Fig. 10(b): with 8 GB of
+// server memory, RDMA sustains wire-class bandwidth to 7 clients while
+// IPoIB saturates near 360 MB/s.
+func BenchmarkFigure10b_MultiClient8GB(b *testing.B) {
+	var rdmaMin, rdmaMax, ipoibMax float64
+	for i := 0; i < b.N; i++ {
+		r := RunFigure10(benchScale, 8<<30, 7)
+		rdmaMin, rdmaMax = 1e18, 0
+		for _, pt := range r.Series[TransportRDMA] {
+			v := pt.Result.AggregateReadMBps
+			if pt.Clients >= 2 {
+				if v < rdmaMin {
+					rdmaMin = v
+				}
+			}
+			if v > rdmaMax {
+				rdmaMax = v
+			}
+		}
+		for _, pt := range r.Series[TransportIPoIB] {
+			if v := pt.Result.AggregateReadMBps; v > ipoibMax {
+				ipoibMax = v
+			}
+		}
+	}
+	b.ReportMetric(rdmaMax, "RDMA-peak-MB/s")      // paper: >900
+	b.ReportMetric(rdmaMin, "RDMA-sustained-MB/s") // paper: >900 through 7 clients
+	b.ReportMetric(ipoibMax, "IPoIB-peak-MB/s")    // paper: ~360
+	if ipoibMax > rdmaMin {
+		b.Errorf("RDMA sustained (%.0f) should stay above IPoIB (%.0f)", rdmaMin, ipoibMax)
+	}
+}
+
+// BenchmarkSecurity_ExposureWindow quantifies §4.1: the count of remotely
+// accessible server registrations per 100 READs under each design.
+func BenchmarkSecurity_ExposureWindow(b *testing.B) {
+	var rwExposed, rrExposed float64
+	for i := 0; i < b.N; i++ {
+		for _, design := range []Design{DesignReadWrite, DesignReadRead} {
+			cluster := NewCluster(Config{
+				Profile:   SolarisSDR(),
+				Transport: TransportRDMA,
+				Design:    design,
+				RegMode:   RegDynamic,
+			})
+			cl := cluster.Clients[0]
+			d := design
+			cluster.Start("io", func(p *Proc) {
+				f, err := cl.Create(p, "x")
+				if err != nil {
+					return
+				}
+				buf := cl.NewBuffer(128 << 10)
+				f.WriteAt(p, buf, 0, 0, 128<<10, false)
+				for j := 0; j < 100; j++ {
+					f.ReadAt(p, buf, 0, 0, 128<<10, false)
+				}
+				exposed := float64(cluster.Server.Node.HCA.RemoteExposedEver())
+				if d == DesignReadWrite {
+					rwExposed = exposed
+				} else {
+					rrExposed = exposed
+				}
+			})
+			cluster.Run()
+		}
+	}
+	b.ReportMetric(rwExposed, "RW-exposed-MRs/100reads") // 0 by design
+	b.ReportMetric(rrExposed, "RR-exposed-MRs/100reads") // ~100
+	if rwExposed != 0 {
+		b.Errorf("Read-Write design exposed %v server MRs", rwExposed)
+	}
+	if rrExposed == 0 {
+		b.Error("Read-Read design should have exposed server MRs")
+	}
+}
+
+// BenchmarkAblation_PhysicalContiguity sweeps the fragmentation that
+// all-physical registration suffers — the mechanism behind Fig. 9(b).
+func BenchmarkAblation_PhysicalContiguity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := AblationPhysicalContiguity(benchScale)
+		if t == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
+// BenchmarkAblation_ORDLimit sweeps the IRD/ORD limit of §4.1.
+func BenchmarkAblation_ORDLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := AblationORD(benchScale)
+		if t == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
+// BenchmarkAblation_CacheBound sweeps the registration-cache slab bound —
+// the static-limit pathology §4.3 warns about.
+func BenchmarkAblation_CacheBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := AblationCacheBound(benchScale)
+		if t == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
+// BenchmarkAblation_InterruptCost sweeps per-interrupt cost against the
+// Read-Write design's interrupt-elimination gain.
+func BenchmarkAblation_InterruptCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if AblationInterruptCost(benchScale) == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
+// BenchmarkAblation_InlineThreshold sweeps the inline threshold, exercising
+// the long-call path and the squeezed-inline reply fallback.
+func BenchmarkAblation_InlineThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if AblationInlineThreshold(benchScale) == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
+// BenchmarkAblation_ClientCache measures the paper's motivating claim: an
+// undersized client data cache cannot defend a client from server traffic.
+func BenchmarkAblation_ClientCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if AblationClientCache(benchScale) == nil {
+			b.Fatal("no result")
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command nfsrdma-bench runs a single IOzone-style measurement on a chosen
+// configuration and prints the result — the quickest way to explore the
+// design space by hand.
+//
+// Usage:
+//
+//	nfsrdma-bench -profile solaris-sdr -transport rdma -design read-write \
+//	              -reg cache -threads 8 -record 131072 -file 134217728 -direct
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/nfs3"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+	"repro/internal/workload"
+)
+
+func main() {
+	profileName := flag.String("profile", "solaris-sdr", "testbed profile: solaris-sdr, linux-sdr, linux-ddr")
+	transport := flag.String("transport", "rdma", "transport: rdma, ipoib, gige")
+	design := flag.String("design", "read-write", "bulk design: read-write, read-read")
+	reg := flag.String("reg", "register", "registration mode: register, fmr, all-physical, cache")
+	threads := flag.Int("threads", 1, "IOzone threads")
+	record := flag.Int("record", 128<<10, "record size in bytes")
+	fileSize := flag.Int64("file", 128<<20, "file size per thread in bytes")
+	direct := flag.Bool("direct", false, "use the zero-copy direct-I/O read path")
+	disk := flag.Bool("disk", false, "use the RAID disk back end instead of tmpfs")
+	cacheGB := flag.Int("server-mem", 4, "server memory in GiB (disk back end)")
+	metrics := flag.Bool("metrics", false, "print a full cluster metrics snapshot")
+	latency := flag.Bool("latency", false, "print per-procedure latency histograms")
+	trace := flag.Bool("trace", false, "stream protocol trace lines to stderr (very verbose)")
+	flag.Parse()
+
+	cfg := core.Config{Backend: core.BackendTmpfs}
+	switch *profileName {
+	case "solaris-sdr":
+		cfg.Profile = profiles.SolarisSDR()
+	case "linux-sdr":
+		cfg.Profile = profiles.LinuxSDR()
+	case "linux-ddr":
+		cfg.Profile = profiles.LinuxDDR()
+	default:
+		fatal("unknown profile %q", *profileName)
+	}
+	switch *transport {
+	case "rdma":
+		cfg.Transport = core.TransportRDMA
+	case "ipoib":
+		cfg.Transport = core.TransportIPoIB
+	case "gige":
+		cfg.Transport = core.TransportGigE
+	default:
+		fatal("unknown transport %q", *transport)
+	}
+	switch *design {
+	case "read-write":
+		cfg.Design = rpcrdma.ReadWrite
+	case "read-read":
+		cfg.Design = rpcrdma.ReadRead
+	default:
+		fatal("unknown design %q", *design)
+	}
+	switch *reg {
+	case "register":
+		cfg.RegMode = memreg.Regular
+	case "fmr":
+		cfg.RegMode = memreg.FMR
+	case "all-physical":
+		cfg.RegMode = memreg.AllPhysical
+	case "cache":
+		cfg.RegMode = memreg.Cache
+	default:
+		fatal("unknown registration mode %q", *reg)
+	}
+	if *disk {
+		cfg.Backend = core.BackendDisk
+		cfg.PageCacheBytes = int64(*cacheGB)<<30 - 1<<30
+	}
+
+	cluster := core.NewCluster(cfg)
+	if *trace {
+		cluster.EnableTrace(os.Stderr)
+	}
+	if *latency {
+		cluster.Start("latency-setup", func(p *des.Proc) {
+			cluster.Clients[0].NFS.EnableLatencyStats(cluster.Sim)
+		})
+	}
+	var res workload.IOzoneResult
+	var err error
+	cluster.Start("bench", func(p *des.Proc) {
+		res, err = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+			Threads: *threads, FileSize: *fileSize, RecordSize: *record, DirectIO: *direct,
+		})
+	})
+	end := cluster.Run()
+	if err != nil {
+		fatal("run failed: %v", err)
+	}
+	fmt.Printf("profile=%s transport=%v design=%v reg=%v threads=%d record=%d file=%d direct=%v\n",
+		cfg.Profile.Name, cfg.Transport, cfg.Design, cfg.RegMode, *threads, *record, *fileSize, *direct)
+	fmt.Printf("write: %8.1f MB/s   clientCPU %5.1f%%   serverCPU %5.1f%%\n",
+		res.Write.MBps, res.Write.ClientCPUPct, res.Write.ServerCPUPct)
+	fmt.Printf("read:  %8.1f MB/s   clientCPU %5.1f%%   serverCPU %5.1f%%   interrupts %d\n",
+		res.Read.MBps, res.Read.ClientCPUPct, res.Read.ServerCPUPct, res.Read.Interrupts)
+	fmt.Printf("simulated time: %v\n", end)
+	if *metrics {
+		cluster.Metrics(0).Write(os.Stdout)
+	}
+	if rdma := cluster.Server.RDMA; rdma != nil {
+		fmt.Printf("server: requests=%d bulkReads=%d bulkWrites=%d longCalls=%d longReplies=%d\n",
+			rdma.Requests, rdma.BulkReads, rdma.BulkWrites, rdma.LongCalls, rdma.LongReplies)
+		st := cluster.Server.Mgr.Stats()
+		fmt.Printf("server registrations: dynamic=%d fmrMaps=%d fmrFallbacks=%d cacheHits=%d cacheMisses=%d\n",
+			st.Registers, st.FMRMaps, st.FMRFallback, st.CacheHits, st.CacheMisses)
+	}
+	if *latency {
+		fmt.Println("per-procedure latency:")
+		for proc := uint32(0); proc <= nfs3.ProcCommit; proc++ {
+			h := cluster.Clients[0].NFS.Latency(proc)
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			fmt.Printf("  %-12s %s\n", nfs3.ProcName(proc), h.Summary())
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command nfsrdma-experiments regenerates every table and figure of the
+// paper's evaluation section and prints them as text or markdown tables.
+//
+// Usage:
+//
+//	nfsrdma-experiments [-scale N] [-markdown] [-only fig5,fig7,...]
+//
+// -scale divides workload sizes (1 = the paper's sizes; the default 4 keeps
+// a full run to a few minutes of wall-clock time). Results are simulated
+// time, so scale changes convergence detail, not the steady-state shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	scale := flag.Int("scale", 4, "workload scale divisor (1 = paper sizes)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	only := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+	emit := func(t *stats.Table) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t)
+		}
+	}
+	s := experiments.Scale(*scale)
+
+	if sel("table1") {
+		emit(experiments.Table1())
+	}
+	if sel("fig5") || sel("fig6") {
+		r := experiments.RunFigure5and6(s)
+		if sel("fig5") {
+			emit(r.Read)
+		}
+		if sel("fig6") {
+			emit(r.Write)
+		}
+		emit(r.CPU)
+	}
+	if sel("fig7") {
+		r := experiments.RunFigure7(s)
+		emit(r.Read)
+		emit(r.Write)
+		emit(r.CPU)
+	}
+	if sel("fig8") {
+		emit(experiments.RunFigure8(s).Table)
+	}
+	if sel("fig9") {
+		r := experiments.RunFigure9(s)
+		emit(r.Read)
+		emit(r.Write)
+	}
+	if sel("fig10a") {
+		emit(experiments.RunFigure10(s, 4<<30, 8).Table)
+	}
+	if sel("fig10b") {
+		emit(experiments.RunFigure10(s, 8<<30, 8).Table)
+	}
+	if want["ablations"] {
+		emit(experiments.AblationORD(s))
+		emit(experiments.AblationPhysicalContiguity(s))
+		emit(experiments.AblationInlineThreshold(s))
+		emit(experiments.AblationInterruptCost(s))
+		emit(experiments.AblationCacheBound(s))
+		emit(experiments.AblationClientCache(s))
+	}
+	if len(want) > 0 {
+		known := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations"}
+		for k := range want {
+			found := false
+			for _, ok := range known {
+				if k == ok {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", k, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Metadata: a small-op, metadata-heavy mix (stat / open+read / overwrite /
+// create+remove / readdir) where bulk transfer is irrelevant and per-RPC
+// latency rules. Two things matter here: the inline RPC path of the
+// transport, and the client's attribute/lookup cache — the standard NFS
+// client machinery this library implements alongside the paper's transport.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nfsrdma "repro"
+)
+
+func main() {
+	fmt.Println("metadata-heavy mix, 8 threads, Linux SDR testbed, Read-Write design + registration cache")
+	fmt.Printf("%-22s %12s %16s %12s %12s\n", "configuration", "ops/s", "avg latency µs", "client cpu", "server cpu")
+
+	for _, useCache := range []bool{false, true} {
+		cluster := nfsrdma.NewCluster(nfsrdma.Config{
+			Profile:   nfsrdma.LinuxSDR(),
+			Transport: nfsrdma.TransportRDMA,
+			Design:    nfsrdma.DesignReadWrite,
+			RegMode:   nfsrdma.RegCache,
+		})
+		var res nfsrdma.MetadataResult
+		cluster.Start("meta", func(p *nfsrdma.Proc) {
+			var err error
+			res, err = nfsrdma.RunMetadata(p, cluster, nfsrdma.MetadataConfig{
+				Threads: 8, Dirs: 16, Files: 64, Ops: 400, Seed: 11,
+				UseCache: useCache,
+			})
+			if err != nil {
+				log.Fatalf("metadata (cache=%v): %v", useCache, err)
+			}
+		})
+		cluster.Run()
+		name := "no client cache"
+		if useCache {
+			name = "attr+lookup cache"
+		}
+		fmt.Printf("%-22s %12.0f %16.1f %11.1f%% %11.1f%%\n",
+			name, res.OpsPerSec, res.AvgLatencyUS, res.ClientCPUPct, res.ServerCPUPct)
+	}
+	fmt.Println("\nThe cache absorbs the LOOKUP/GETATTR chatter that dominates path-heavy")
+	fmt.Println("workloads; the data operations still ride the RPC/RDMA transport.")
+}

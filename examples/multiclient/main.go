@@ -1,0 +1,60 @@
+// Multiclient: the §5.3 scale-out experiment — up to seven clients
+// stream-reading 256 MiB files from a server whose data lives on a RAID-0
+// array behind a page cache, comparing NFS/RDMA against NFS/TCP over IPoIB
+// and Gigabit Ethernet. Watch the RDMA curve collapse the moment the
+// clients' combined working set overflows the server cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nfsrdma "repro"
+)
+
+func main() {
+	const (
+		fileSize  = 256 << 20 // per client (a quarter of the paper's 1 GB: same shape, faster run)
+		cacheSize = 768 << 20 // a quarter of the paper's ~3 GB usable on the 4 GB server
+	)
+	fmt.Println("multi-client streaming read, RAID-0 back end, server cache", cacheSize>>20, "MiB,",
+		fileSize>>20, "MiB per client")
+	fmt.Printf("%-8s %12s %12s %12s %10s %8s\n", "clients", "RDMA MB/s", "IPoIB MB/s", "GigE MB/s", "cache-hit", "disk%")
+
+	for clients := 1; clients <= 7; clients++ {
+		row := map[nfsrdma.Transport]nfsrdma.MultiClientResult{}
+		for _, tr := range []nfsrdma.Transport{nfsrdma.TransportRDMA, nfsrdma.TransportIPoIB, nfsrdma.TransportGigE} {
+			cluster := nfsrdma.NewCluster(nfsrdma.Config{
+				Profile:        nfsrdma.LinuxDDR(),
+				Transport:      tr,
+				Design:         nfsrdma.DesignReadWrite,
+				RegMode:        nfsrdma.RegAllPhysical,
+				Clients:        clients,
+				Backend:        nfsrdma.BackendDisk,
+				PageCacheBytes: cacheSize,
+			})
+			var res nfsrdma.MultiClientResult
+			cluster.Start("stream", func(p *nfsrdma.Proc) {
+				var err error
+				res, err = nfsrdma.RunMultiClient(p, cluster, nfsrdma.MultiClientConfig{
+					FileSize: fileSize, RecordSize: 1 << 20,
+				})
+				if err != nil {
+					log.Fatalf("multiclient (%v, %d clients): %v", tr, clients, err)
+				}
+			})
+			cluster.Run()
+			row[tr] = res
+		}
+		rdma := row[nfsrdma.TransportRDMA]
+		fmt.Printf("%-8d %12.1f %12.1f %12.1f %9.0f%% %7.0f%%\n",
+			clients,
+			rdma.AggregateReadMBps,
+			row[nfsrdma.TransportIPoIB].AggregateReadMBps,
+			row[nfsrdma.TransportGigE].AggregateReadMBps,
+			rdma.CacheHitRatio*100,
+			rdma.DiskUtilization*100)
+	}
+	fmt.Println("\nThe paper's Fig. 10: RDMA rides the wire while the working set fits the cache,")
+	fmt.Println("then every transport converges on the disk array; TCP never gets near the wire.")
+}

@@ -1,0 +1,54 @@
+// Registration: compare the four §4.3 memory-registration strategies on
+// one IOzone-style configuration and show why the critical-path TPT work is
+// the dominant cost of an RPC/RDMA transport — the observation that
+// motivates the paper's buffer registration cache.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nfsrdma "repro"
+)
+
+func main() {
+	fmt.Println("IOzone read/write, 8 threads, 128 KiB records, Linux SDR testbed, Read-Write design")
+	fmt.Printf("%-14s %11s %11s %14s %12s %12s\n",
+		"registration", "read MB/s", "write MB/s", "dyn registers", "FMR maps", "cache hits")
+
+	for _, mode := range []nfsrdma.RegMode{
+		nfsrdma.RegDynamic, nfsrdma.RegFMR, nfsrdma.RegAllPhysical, nfsrdma.RegCache,
+	} {
+		cluster := nfsrdma.NewCluster(nfsrdma.Config{
+			Profile:   nfsrdma.LinuxSDR(),
+			Transport: nfsrdma.TransportRDMA,
+			Design:    nfsrdma.DesignReadWrite,
+			RegMode:   mode,
+		})
+		var res nfsrdma.IOzoneResult
+		cluster.Start("iozone", func(p *nfsrdma.Proc) {
+			var err error
+			res, err = nfsrdma.RunIOzone(p, cluster, nfsrdma.IOzoneConfig{
+				Threads: 8, FileSize: 32 << 20, RecordSize: 128 << 10,
+			})
+			if err != nil {
+				log.Fatalf("iozone (%v): %v", mode, err)
+			}
+		})
+		cluster.Run()
+		st := cluster.Server.Mgr.Stats()
+		fmt.Printf("%-14v %11.1f %11.1f %14d %12d %12d\n",
+			mode, res.Read.MBps, res.Write.MBps, st.Registers, st.FMRMaps, st.CacheHits)
+	}
+
+	fmt.Println(`
+Reading the table:
+  - dynamic registration pays per-page TPT transactions on every RPC;
+  - FMR pre-allocates tags so mapping is cheaper, but entries still cross
+    the I/O bus;
+  - all-physical skips registration entirely (best read throughput) but
+    fragments buffers into physical runs — writes issue several RDMA Reads
+    per record and press the IRD/ORD=8 limit;
+  - the registration cache keeps slab buffers registered across requests:
+    a hit costs nothing, and the buffers are never exposed to clients.`)
+}

@@ -1,0 +1,103 @@
+// Security: demonstrate the §4.1 vulnerabilities of the original Read-Read
+// RPC/RDMA design and how the paper's Read-Write design closes them.
+//
+// Part 1 measures the server's exposure: how many memory regions each
+// design makes remotely accessible while serving the same reads.
+//
+// Part 2 plays the malicious client: under Read-Read, a client that
+// withholds RDMA_DONE pins the server's reply buffers — and once the reply
+// pool is exhausted, a well-behaved client on the same server starves.
+// Under Read-Write there is nothing to withhold.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	nfsrdma "repro"
+)
+
+func main() {
+	exposure()
+	maliciousClient()
+}
+
+func exposure() {
+	fmt.Println("── server memory exposure while serving 50 READs ──")
+	for _, design := range []nfsrdma.Design{nfsrdma.DesignReadRead, nfsrdma.DesignReadWrite} {
+		cluster := nfsrdma.NewCluster(nfsrdma.Config{
+			Profile:   nfsrdma.SolarisSDR(),
+			Transport: nfsrdma.TransportRDMA,
+			Design:    design,
+			RegMode:   nfsrdma.RegDynamic,
+		})
+		cl := cluster.Clients[0]
+		cluster.Start("reads", func(p *nfsrdma.Proc) {
+			f, _ := cl.Create(p, "data")
+			buf := cl.NewBuffer(128 << 10)
+			f.WriteAt(p, buf, 0, 0, 128<<10, false)
+			for i := 0; i < 50; i++ {
+				f.ReadAt(p, buf, 0, 0, 128<<10, false)
+			}
+		})
+		cluster.Run()
+		fmt.Printf("%-12v server MRs ever remotely readable: %3d   (32-bit steering tags a client could replay or scan)\n",
+			design, cluster.Server.Node.HCA.RemoteExposedEver())
+	}
+	fmt.Println()
+}
+
+func maliciousClient() {
+	fmt.Println("── malicious client withholding RDMA_DONE (Read-Read design) ──")
+	cluster := nfsrdma.NewCluster(nfsrdma.Config{
+		Profile:   nfsrdma.SolarisSDR(),
+		Transport: nfsrdma.TransportRDMA,
+		Design:    nfsrdma.DesignReadRead,
+		RegMode:   nfsrdma.RegDynamic,
+		Clients:   2,
+	})
+	evil, good := cluster.Clients[0], cluster.Clients[1]
+
+	cluster.Start("attack", func(p *nfsrdma.Proc) {
+		evil.RDMA.DropDone = true // never acknowledge server chunks
+		f, _ := evil.Create(p, "bait")
+		buf := evil.NewBuffer(128 << 10)
+		f.WriteAt(p, buf, 0, 0, 128<<10, false)
+		// Each read parks one server reply buffer forever; the pool is
+		// bounded, so this loop wedges the server.
+		for i := 0; i < 64; i++ {
+			if _, _, err := f.ReadAt(p, buf, 0, 0, 128<<10, false); err != nil {
+				break
+			}
+			if i == 30 {
+				fmt.Printf("after %2d withheld DONEs: server has %d reply buffers pinned, %d bytes still exposed\n",
+					i+1, cluster.Server.RDMA.ParkedReplies(), cluster.Server.Node.HCA.RemoteExposedBytes())
+			}
+		}
+	})
+
+	victimDone := false
+	cluster.Start("victim", func(p *nfsrdma.Proc) {
+		p.Sleep(50 * time.Millisecond) // let the attack build up
+		f, err := good.Create(p, "honest-work")
+		if err != nil {
+			return
+		}
+		buf := good.NewBuffer(64 << 10)
+		start := p.Now()
+		f.WriteAt(p, buf, 0, 0, 64<<10, false)
+		if _, _, err := f.ReadAt(p, buf, 0, 0, 64<<10, false); err == nil {
+			fmt.Printf("victim client read completed after %v\n", p.Now()-start)
+			victimDone = true
+		}
+	})
+
+	cluster.RunUntil(nfsrdma.Time(2 * time.Second))
+	fmt.Printf("server reply buffers still pinned at shutdown: %d\n", cluster.Server.RDMA.ParkedReplies())
+	if !victimDone {
+		fmt.Println("victim client NEVER completed: the reply-buffer pool was exhausted by the attacker")
+	}
+	fmt.Println("\nIn the Read-Write design the server pushes data with RDMA Write and frees its")
+	fmt.Println("buffers on its own send completion — there is no DONE for a client to withhold,")
+	fmt.Println("and no server buffer is ever remotely accessible.")
+}

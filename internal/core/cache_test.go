@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/nfs3"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+)
+
+func cacheCluster() *Cluster {
+	return NewCluster(Config{
+		Profile: profiles.LinuxSDR(), Transport: TransportRDMA,
+		Design: rpcrdma.ReadWrite, RegMode: memreg.Regular, CopyData: true,
+	})
+}
+
+func TestAttrCacheAvoidsGetAttrRPCs(t *testing.T) {
+	cluster := cacheCluster()
+	cl := cluster.Clients[0]
+	cluster.Start("t", func(p *des.Proc) {
+		ac := cl.EnableAttrCache(10 * time.Second)
+		f, err := cl.Create(p, "f")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		buf := cl.NewBuffer(4096)
+		f.WriteAt(p, buf, 0, 0, 4096, false)
+		getattrsBefore := cluster.Server.NFS.Ops[nfs3.ProcGetAttr]
+		for i := 0; i < 20; i++ {
+			if sz, err := f.Size(p); err != nil || sz != 4096 {
+				t.Errorf("size: %d %v", sz, err)
+				return
+			}
+		}
+		extra := cluster.Server.NFS.Ops[nfs3.ProcGetAttr] - getattrsBefore
+		// The WRITE's post-op attributes seeded the cache: zero or one
+		// GETATTR should reach the server for 20 Size calls.
+		if extra > 1 {
+			t.Errorf("%d GETATTR RPCs reached the server; cache ineffective", extra)
+		}
+		if ac.AttrHits < 19 {
+			t.Errorf("attr hits = %d", ac.AttrHits)
+		}
+	})
+	cluster.Run()
+}
+
+func TestAttrCacheTTLExpires(t *testing.T) {
+	cluster := cacheCluster()
+	cl := cluster.Clients[0]
+	cluster.Start("t", func(p *des.Proc) {
+		cl.EnableAttrCache(1 * time.Millisecond)
+		f, _ := cl.Create(p, "f")
+		buf := cl.NewBuffer(100)
+		f.WriteAt(p, buf, 0, 0, 100, false)
+		f.Size(p) // populate / hit
+		before := cluster.Server.NFS.Ops[nfs3.ProcGetAttr]
+		p.Sleep(2 * time.Millisecond) // expire
+		f.Size(p)
+		if cluster.Server.NFS.Ops[nfs3.ProcGetAttr] != before+1 {
+			t.Error("expired entry did not refetch")
+		}
+	})
+	cluster.Run()
+}
+
+func TestAttrCacheCoherenceAfterWrite(t *testing.T) {
+	cluster := cacheCluster()
+	cl := cluster.Clients[0]
+	cluster.Start("t", func(p *des.Proc) {
+		cl.EnableAttrCache(time.Minute)
+		f, _ := cl.Create(p, "f")
+		buf := cl.NewBuffer(1000)
+		f.WriteAt(p, buf, 0, 0, 1000, false)
+		if sz, _ := f.Size(p); sz != 1000 {
+			t.Errorf("size = %d", sz)
+		}
+		// A further write must update the cached size (post-op attrs).
+		f.WriteAt(p, buf, 0, 1000, 1000, false)
+		if sz, _ := f.Size(p); sz != 2000 {
+			t.Errorf("size after extend = %d (stale cache)", sz)
+		}
+		// Truncate invalidates; the next Size refetches.
+		f.Truncate(p, 10)
+		if sz, _ := f.Size(p); sz != 10 {
+			t.Errorf("size after truncate = %d", sz)
+		}
+	})
+	cluster.Run()
+}
+
+func TestLookupCacheAvoidsPathWalks(t *testing.T) {
+	cluster := cacheCluster()
+	cl := cluster.Clients[0]
+	cluster.Start("t", func(p *des.Proc) {
+		ac := cl.EnableAttrCache(time.Minute)
+		cl.Mkdir(p, "a")
+		cl.Mkdir(p, "a/b")
+		if _, err := cl.Create(p, "a/b/f"); err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		lookupsBefore := cluster.Server.NFS.Ops[nfs3.ProcLookup]
+		for i := 0; i < 10; i++ {
+			if _, err := cl.Open(p, "a/b/f"); err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+		}
+		extra := cluster.Server.NFS.Ops[nfs3.ProcLookup] - lookupsBefore
+		if extra > 3 { // first walk may miss; the rest must hit
+			t.Errorf("%d LOOKUP RPCs for 10 cached opens", extra)
+		}
+		if ac.LookupHits < 20 {
+			t.Errorf("lookup hits = %d", ac.LookupHits)
+		}
+	})
+	cluster.Run()
+}
+
+func TestStatThroughCache(t *testing.T) {
+	cluster := cacheCluster()
+	cl := cluster.Clients[0]
+	cluster.Start("t", func(p *des.Proc) {
+		cl.EnableAttrCache(time.Minute)
+		cl.Mkdir(p, "d")
+		f, _ := cl.Create(p, "d/x")
+		buf := cl.NewBuffer(512)
+		f.WriteAt(p, buf, 0, 0, 512, false)
+		attr, err := cl.Stat(p, "d/x")
+		if err != nil || attr.Size != 512 {
+			t.Errorf("stat: %+v %v", attr, err)
+		}
+		if _, err := cl.Stat(p, "missing"); err == nil {
+			t.Error("stat of missing file succeeded")
+		}
+	})
+	cluster.Run()
+}

@@ -1,0 +1,249 @@
+// Package core assembles the paper's system: an NFSv3 server exporting a
+// tmpfs or RAID-backed file system over the RPC/RDMA transport (Read-Write
+// or Read-Read design, any §4.3 registration strategy) or over the NFS/TCP
+// baseline, plus clients with a file API that includes the zero-copy
+// direct-I/O read path. A Cluster is one experiment instance: simulated
+// hosts on one fabric, fully wired, ready for workloads.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ibsim"
+	"repro/internal/memreg"
+	"repro/internal/nfs3"
+	"repro/internal/oncrpc"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+	"repro/internal/tcpsim"
+	"repro/internal/vfs"
+)
+
+// Transport selects the wire protocol of a cluster.
+type Transport int
+
+// Transports. The TCP baselines differ in the NIC they run over: IPoIB uses
+// the InfiniBand port, GigE a 125 MB/s Ethernet port.
+const (
+	TransportRDMA Transport = iota
+	TransportIPoIB
+	TransportGigE
+)
+
+func (t Transport) String() string {
+	switch t {
+	case TransportRDMA:
+		return "rdma"
+	case TransportIPoIB:
+		return "ipoib"
+	case TransportGigE:
+		return "gige"
+	}
+	return fmt.Sprintf("transport(%d)", int(t))
+}
+
+// Backend selects the server's file store.
+type Backend int
+
+// Backends: memory-speed tmpfs (§5.1/§5.2) or the page-cached RAID-0 array
+// (§5.3).
+const (
+	BackendTmpfs Backend = iota
+	BackendDisk
+)
+
+func (b Backend) String() string {
+	if b == BackendDisk {
+		return "disk"
+	}
+	return "tmpfs"
+}
+
+// Config describes one cluster/experiment instance.
+type Config struct {
+	Profile   profiles.Profile
+	Transport Transport
+	Design    rpcrdma.Design
+	RegMode   memreg.Mode
+	Clients   int
+	Backend   Backend
+
+	// PageCacheBytes overrides the profile's server page-cache capacity
+	// (disk backend only).
+	PageCacheBytes int64
+
+	// CopyData materializes and moves real payload bytes (integrity tests);
+	// large experiments leave it off.
+	CopyData bool
+
+	// CacheMaxBytes bounds the registration-cache slab on both endpoints
+	// (RegMode Cache only; 0 = the memreg default).
+	CacheMaxBytes int64
+
+	// FSCapacity is the advertised export size.
+	FSCapacity int64
+
+	Seed uint64
+}
+
+func (c *Config) defaults() {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.FSCapacity <= 0 {
+		c.FSCapacity = 1 << 44
+	}
+	if c.PageCacheBytes <= 0 {
+		c.PageCacheBytes = c.Profile.PageCacheBytes
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Server is the simulated NFS server host.
+type Server struct {
+	Node  *ibsim.Node
+	FS    *vfs.Namespace
+	NFS   *nfs3.Server
+	Mount *nfs3.MountServer
+	Mgr   *memreg.Manager
+
+	RDMA *rpcrdma.ServerTransport
+	TCP  *tcpsim.Listener
+
+	Disk  *vfs.DiskArray
+	Cache *vfs.PageCache
+}
+
+// Cluster is one fully wired experiment instance.
+type Cluster struct {
+	Cfg     Config
+	Sim     *des.Sim
+	Fabric  *ibsim.Fabric
+	Server  *Server
+	Clients []*Client
+
+	ready *des.Event
+}
+
+// NewCluster builds the hosts and schedules the wiring (managers and
+// transports are created inside the simulation, since FMR pools and
+// connections take simulated time). Workloads started with Start run after
+// wiring completes.
+func NewCluster(cfg Config) *Cluster {
+	cfg.defaults()
+	sim := des.New()
+	fab := ibsim.NewFabric(sim, cfg.CopyData)
+	c := &Cluster{Cfg: cfg, Sim: sim, Fabric: fab, ready: des.NewEvent(sim)}
+
+	serverNodeCfg := cfg.Profile.Server
+	clientNodeCfg := cfg.Profile.Client
+	if cfg.Transport == TransportGigE {
+		serverNodeCfg.PortBandwidth = profiles.GigEPortBandwidth
+		serverNodeCfg.PortLatency = profiles.GigEPortLatency
+		clientNodeCfg.PortBandwidth = profiles.GigEPortBandwidth
+		clientNodeCfg.PortLatency = profiles.GigEPortLatency
+	}
+	serverNodeCfg.Name = "server"
+	serverNodeCfg.Seed = cfg.Seed * 31
+	srvNode := fab.AddNode(serverNodeCfg)
+
+	srv := &Server{Node: srvNode}
+	var store vfs.Store
+	switch cfg.Backend {
+	case BackendTmpfs:
+		store = vfs.NewMemStore(cfg.CopyData)
+	case BackendDisk:
+		srv.Disk = vfs.NewDiskArray(sim, "server-raid", cfg.Profile.Disk)
+		srv.Cache = vfs.NewPageCache(srv.Disk, vfs.PageCacheConfig{
+			CapacityBytes: cfg.PageCacheBytes,
+		})
+		store = vfs.NewDiskStore(srv.Cache)
+	}
+	srv.FS = vfs.NewNamespace(sim, store, cfg.FSCapacity)
+	srv.NFS = nfs3.NewServer(srv.FS, nfs3.ServerConfig{
+		CPU:      srvNode.CPU,
+		PerOpCPU: cfg.Profile.NFSPerOpCPU,
+	})
+	srv.Mount = nfs3.NewMountServer(srv.NFS)
+	c.Server = srv
+
+	dispatcher := oncrpc.NewDispatcher()
+	dispatcher.Register(srv.NFS)
+	dispatcher.Register(srv.Mount)
+
+	for i := 0; i < cfg.Clients; i++ {
+		nodeCfg := clientNodeCfg
+		nodeCfg.Name = fmt.Sprintf("client%d", i)
+		nodeCfg.Seed = cfg.Seed*101 + uint64(i)
+		c.Clients = append(c.Clients, &Client{
+			cluster: c,
+			Index:   i,
+			Node:    fab.AddNode(nodeCfg),
+		})
+	}
+
+	sim.Spawn("cluster-setup", func(p *des.Proc) {
+		srv.Mgr = memreg.NewManager(p, srvNode, memreg.Config{Mode: cfg.RegMode, CacheMaxBytes: cfg.CacheMaxBytes})
+		switch cfg.Transport {
+		case TransportRDMA:
+			sCfg := cfg.Profile.RDMAServer
+			sCfg.Design = cfg.Design
+			srv.RDMA = rpcrdma.NewServerTransport(p, srvNode, srv.Mgr, dispatcher, sCfg)
+			for _, cl := range c.Clients {
+				cl.Mgr = memreg.NewManager(p, cl.Node, memreg.Config{Mode: cfg.RegMode, CacheMaxBytes: cfg.CacheMaxBytes})
+				cq, sq := fab.Connect(cl.Node, srvNode, ibsim.QPConfig{})
+				srv.RDMA.Serve(sq)
+				cl.RDMA = newClientTransport(p, cq, cl)
+				cl.Transport = cl.RDMA
+			}
+		case TransportIPoIB, TransportGigE:
+			tcpCfg := cfg.Profile.TCP
+			if cfg.Transport == TransportGigE {
+				tcpCfg = profiles.GigETCP()
+			}
+			srv.TCP = tcpsim.NewListener(srvNode, dispatcher, tcpCfg)
+			for _, cl := range c.Clients {
+				cl.Mgr = memreg.NewManager(p, cl.Node, memreg.Config{Mode: cfg.RegMode, CacheMaxBytes: cfg.CacheMaxBytes})
+				cl.Transport = tcpsim.Dial(cl.Node, srv.TCP)
+			}
+		}
+		for _, cl := range c.Clients {
+			cl.NFS = nfs3.NewClient(cl.Transport, cl.Node.Name())
+			// Bootstrap through the MOUNT protocol, as a real client would.
+			mc := nfs3.NewMountClient(cl.Transport, cl.Node.Name())
+			root, err := mc.Mount(p, "/")
+			if err != nil {
+				panic(fmt.Sprintf("core: mount failed for %s: %v", cl.Node.Name(), err))
+			}
+			cl.Root = root
+		}
+		c.ready.Fire(nil)
+	})
+	return c
+}
+
+// newClientTransport builds an RPC/RDMA client endpoint with the cluster's
+// configured design, shared by initial wiring and Reconnect.
+func newClientTransport(p *des.Proc, cq *ibsim.QP, cl *Client) *rpcrdma.ClientTransport {
+	cfg := cl.cluster.Cfg.Profile.RDMAClient
+	cfg.Design = cl.cluster.Cfg.Design
+	return rpcrdma.NewClientTransport(p, cq, cl.Mgr, cfg)
+}
+
+// Start spawns a workload process that begins once the cluster is wired.
+func (c *Cluster) Start(name string, fn func(p *des.Proc)) {
+	c.Sim.Spawn(name, func(p *des.Proc) {
+		c.ready.Wait(p)
+		fn(p)
+	})
+}
+
+// Run drives the simulation to completion and returns the final virtual
+// time.
+func (c *Cluster) Run() des.Time { return c.Sim.Run() }
+
+// RunUntil bounds a runaway simulation.
+func (c *Cluster) RunUntil(limit des.Time) des.Time { return c.Sim.RunUntil(limit) }

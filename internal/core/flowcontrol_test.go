@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+)
+
+// TestDynamicCreditsIsolateMisbehavingClient drives the §4.1 DONE-
+// withholding attack end to end and verifies the future-work credit scheme:
+// with static credits the shared reply pool starves the honest client; with
+// dynamic credits the pool and grant are per connection, so only the
+// attacker wedges.
+func TestDynamicCreditsIsolateMisbehavingClient(t *testing.T) {
+	run := func(dynamic bool) (victimOps int, attackerGrant int) {
+		profile := profiles.SolarisSDR()
+		profile.RDMAClient.DynamicCredits = dynamic
+		profile.RDMAServer.DynamicCredits = dynamic
+		profile.RDMAClient.Credits = 8
+		profile.RDMAServer.Credits = 8
+		profile.RDMAServer.ReplyBufPool = 8
+		cluster := NewCluster(Config{
+			Profile: profile, Transport: TransportRDMA,
+			Design: rpcrdma.ReadRead, RegMode: memreg.Regular,
+			Clients: 2,
+		})
+		evil, good := cluster.Clients[0], cluster.Clients[1]
+		cluster.Start("attacker", func(p *des.Proc) {
+			evil.RDMA.DropDone = true
+			f, _ := evil.Create(p, "bait")
+			buf := evil.NewBuffer(32 << 10)
+			f.WriteAt(p, buf, 0, 0, 32<<10, false)
+			for i := 0; i < 20; i++ {
+				if _, _, err := f.ReadAt(p, buf, 0, 0, 32<<10, false); err != nil {
+					return
+				}
+			}
+		})
+		cluster.Start("victim", func(p *des.Proc) {
+			p.Sleep(30 * time.Millisecond)
+			f, err := good.Create(p, "work")
+			if err != nil {
+				return
+			}
+			buf := good.NewBuffer(32 << 10)
+			f.WriteAt(p, buf, 0, 0, 32<<10, false)
+			deadline := p.Now() + des.Time(200*time.Millisecond)
+			for p.Now() < deadline {
+				if _, _, err := f.ReadAt(p, buf, 0, 0, 32<<10, false); err != nil {
+					return
+				}
+				victimOps++
+			}
+		})
+		cluster.RunUntil(des.Time(time.Second))
+		return victimOps, evil.RDMA.GrantedCredits()
+	}
+
+	staticOps, staticGrant := run(false)
+	dynOps, dynGrant := run(true)
+	if staticOps != 0 {
+		t.Errorf("static credits: victim completed %d ops; the shared pool should starve it", staticOps)
+	}
+	if staticGrant != 8 {
+		t.Errorf("static grant = %d, want the constant 8", staticGrant)
+	}
+	if dynOps == 0 {
+		t.Error("dynamic credits: victim starved; per-connection pools should isolate the attacker")
+	}
+	if dynGrant != 1 {
+		t.Errorf("attacker grant = %d, want collapsed to 1", dynGrant)
+	}
+}

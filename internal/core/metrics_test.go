@@ -1,0 +1,74 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+)
+
+func TestMetricsSnapshot(t *testing.T) {
+	cluster := NewCluster(Config{
+		Profile: profiles.LinuxDDR(), Transport: TransportRDMA,
+		Design: rpcrdma.ReadWrite, RegMode: memreg.Cache,
+		Backend: BackendDisk, PageCacheBytes: 16 << 20, Clients: 2,
+	})
+	cluster.Start("io", func(p *des.Proc) {
+		cl := cluster.Clients[0]
+		f, _ := cl.Create(p, "m")
+		buf := cl.NewBuffer(1 << 20)
+		for i := 0; i < 32; i++ {
+			f.WriteAt(p, buf, 0, int64(i)<<20, 1<<20, false)
+		}
+		for i := 0; i < 32; i++ {
+			f.ReadAt(p, buf, 0, int64(i)<<20, 1<<20, true)
+		}
+		m := cluster.Metrics(0)
+		if m.SimTime <= 0 {
+			t.Error("no simulated time")
+		}
+		if m.Registration.CacheHits == 0 {
+			t.Error("no cache activity recorded")
+		}
+		if m.DiskBytesRead == 0 {
+			t.Error("disk traffic not recorded")
+		}
+		if len(m.ClientCPUPct) != 2 {
+			t.Errorf("client CPU entries = %d", len(m.ClientCPUPct))
+		}
+		if m.ServerExposedEver != 0 {
+			t.Error("read-write server should never expose MRs")
+		}
+		var sb strings.Builder
+		m.Write(&sb)
+		for _, want := range []string{"server:", "registration:", "disk:", "fabric"} {
+			if !strings.Contains(sb.String(), want) {
+				t.Errorf("report missing %q:\n%s", want, sb.String())
+			}
+		}
+	})
+	cluster.Run()
+}
+
+func TestTraceStreamsEvents(t *testing.T) {
+	cluster := NewCluster(Config{
+		Profile: profiles.LinuxSDR(), Transport: TransportRDMA,
+		Design: rpcrdma.ReadWrite, RegMode: memreg.Regular,
+	})
+	var sb strings.Builder
+	cluster.EnableTrace(&sb)
+	cluster.Start("io", func(p *des.Proc) {
+		cl := cluster.Clients[0]
+		f, _ := cl.Create(p, "t")
+		buf := cl.NewBuffer(4096)
+		f.WriteAt(p, buf, 0, 0, 4096, false)
+	})
+	cluster.Run()
+	out := sb.String()
+	if !strings.Contains(out, "rpcrdma call") || !strings.Contains(out, "rpcrdma serve") {
+		t.Fatalf("trace missing protocol events:\n%.500s", out)
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ibsim"
+)
+
+// Reconnect replaces a failed RDMA connection with a fresh queue pair and
+// client transport, re-attaching it to the server. The NFS client keeps
+// its XID stream across the swap, so a server-side duplicate request cache
+// stays coherent (retried calls replay; new calls execute).
+//
+// In-flight calls on the old connection are lost (their Roundtrips have
+// already returned transport errors); the caller retries them — NFSv3 is
+// stateless, and the DRC makes retries of non-idempotent procedures safe.
+func (c *Client) Reconnect(p *des.Proc) error {
+	if c.RDMA == nil {
+		return fmt.Errorf("core: reconnect applies to RDMA transports only")
+	}
+	c.RDMA.Close()
+	cluster := c.cluster
+	cq, sq := cluster.Fabric.Connect(c.Node, cluster.Server.Node, ibsim.QPConfig{})
+	cluster.Server.RDMA.Serve(sq)
+	cfg := cluster.Cfg.Profile.RDMAClient
+	cfg.Design = cluster.Cfg.Design
+	c.RDMA = newClientTransport(p, cq, c)
+	c.Transport = c.RDMA
+	c.NFS.SetTransport(c.RDMA)
+	return nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Sequential streaming with pipelining: real NFS clients keep several READ
+// requests outstanding (readahead) and issue WRITEs unstable with a closing
+// COMMIT (write-behind), which is how a single application thread fills a
+// high-latency or slow link. The synchronous one-request-at-a-time File API
+// models IOzone's O_DIRECT behaviour; these helpers model the kernel
+// client's normal buffered behaviour.
+
+// StreamConfig tunes a sequential transfer.
+type StreamConfig struct {
+	// RecordSize is the per-RPC transfer size (default 128 KiB).
+	RecordSize int
+	// Depth is the number of outstanding RPCs (default 4; 1 = synchronous).
+	Depth int
+	// DirectIO selects zero-copy placement for reads.
+	DirectIO bool
+	// Stable forces FILE_SYNC writes instead of unstable + COMMIT.
+	Stable bool
+}
+
+func (c *StreamConfig) defaults() {
+	if c.RecordSize <= 0 {
+		c.RecordSize = 128 << 10
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+}
+
+// ReadSequential reads [0, length) of the file with pipelined readahead and
+// returns the bytes transferred. Each pipeline slot owns its buffer, so
+// data is not accumulated — this is the throughput-measurement shape (use
+// ReadAt for data access).
+func (f *File) ReadSequential(p *des.Proc, length int64, cfg StreamConfig) (int64, error) {
+	cfg.defaults()
+	return f.stream(p, length, cfg, false)
+}
+
+// WriteSequential writes [0, length) with pipelined write-behind. Unless
+// cfg.Stable is set, writes go out UNSTABLE and a single COMMIT closes the
+// stream, per NFSv3 semantics.
+func (f *File) WriteSequential(p *des.Proc, length int64, cfg StreamConfig) (int64, error) {
+	cfg.defaults()
+	n, err := f.stream(p, length, cfg, true)
+	if err != nil {
+		return n, err
+	}
+	if !cfg.Stable {
+		if err := f.Commit(p); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// stream fans length bytes across cfg.Depth worker processes, each owning a
+// buffer and striding through the offset space — equivalent in throughput
+// to a readahead window of Depth requests.
+func (f *File) stream(p *des.Proc, length int64, cfg StreamConfig, write bool) (int64, error) {
+	sim := p.Sim()
+	records := (length + int64(cfg.RecordSize) - 1) / int64(cfg.RecordSize)
+	depth := cfg.Depth
+	if int64(depth) > records {
+		depth = int(records)
+	}
+	if depth == 0 {
+		return 0, nil
+	}
+	var moved int64
+	var firstErr error
+	events := make([]*des.Event, depth)
+	for w := 0; w < depth; w++ {
+		w := w
+		ev := des.NewEvent(sim)
+		events[w] = ev
+		sim.Spawn(fmt.Sprintf("stream-%d", w), func(wp *des.Proc) {
+			defer ev.Fire(nil)
+			buf := f.c.NewBuffer(cfg.RecordSize)
+			for rec := int64(w); rec < records; rec += int64(depth) {
+				off := rec * int64(cfg.RecordSize)
+				n := cfg.RecordSize
+				if rem := length - off; int64(n) > rem {
+					n = int(rem)
+				}
+				var err error
+				var got int
+				if write {
+					got, err = f.WriteAt(wp, buf, 0, off, n, cfg.Stable)
+				} else {
+					got, _, err = f.ReadAt(wp, buf, 0, off, n, cfg.DirectIO)
+				}
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				moved += int64(got)
+			}
+		})
+	}
+	des.WaitAll(p, events...)
+	return moved, firstErr
+}

@@ -1,0 +1,99 @@
+// Package cpu models the processors of a simulated host.
+//
+// A Model is a fixed pool of cores (a des.Resource). Simulated software
+// charges processing time against it: protocol work, data copies, interrupt
+// handling. Because cores are a contended resource, a host whose per-byte
+// copy cost exceeds what its cores can stream becomes CPU-bound — which is
+// exactly how the paper's NFS/TCP baseline saturates (§5.3) and why the
+// Read-Read client burns 24% CPU at 8 threads while the zero-copy Read-Write
+// client stays flat (§5.1).
+package cpu
+
+import (
+	"time"
+
+	"repro/internal/des"
+)
+
+// Model is the CPU complex of one simulated host.
+type Model struct {
+	sim   *des.Sim
+	cores *des.Resource
+
+	// Cost parameters. All may be zero for an idealized host.
+	CopyNsPerByte    float64      // memcpy cost per byte, in nanoseconds (cache-cold)
+	InterruptCost    des.Duration // per hardware interrupt (incl. context switch)
+	SyscallCost      des.Duration // per user/kernel crossing
+	windowStart      des.Time
+	interrupts       int64
+	busyAtWindowZero float64
+}
+
+// New creates a CPU model with the given core count.
+func New(sim *des.Sim, host string, cores int) *Model {
+	return &Model{sim: sim, cores: des.NewResource(sim, host+"/cpu", cores)}
+}
+
+// Cores returns the number of cores.
+func (m *Model) Cores() int { return m.cores.Capacity() }
+
+// Work occupies one core for d. It is the basic "run code for this long"
+// operation; the caller blocks for at least d (longer under contention).
+func (m *Model) Work(p *des.Proc, d des.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.cores.Use(p, 1, d)
+}
+
+// Copy charges the CPU for moving n bytes through a core (one memcpy).
+func (m *Model) Copy(p *des.Proc, n int) {
+	m.Work(p, time.Duration(float64(n)*m.CopyNsPerByte))
+}
+
+// CopyCost returns the modelled duration of copying n bytes without
+// charging it, for planning/accounting paths.
+func (m *Model) CopyCost(n int) des.Duration {
+	return time.Duration(float64(n) * m.CopyNsPerByte)
+}
+
+// Interrupt charges one hardware interrupt's worth of processing and counts
+// it. Interrupt elimination is one of the Read-Write design's claimed wins,
+// so the count is part of the experiment output.
+func (m *Model) Interrupt(p *des.Proc) {
+	m.interrupts++
+	m.Work(p, m.InterruptCost)
+}
+
+// Syscall charges one kernel crossing.
+func (m *Model) Syscall(p *des.Proc) {
+	m.Work(p, m.SyscallCost)
+}
+
+// Interrupts returns the number of interrupts taken since the last
+// ResetWindow.
+func (m *Model) Interrupts() int64 { return m.interrupts }
+
+// ResetWindow starts a new measurement window for Utilization and the
+// interrupt counter.
+func (m *Model) ResetWindow() {
+	m.windowStart = m.sim.Now()
+	m.busyAtWindowZero = m.cores.BusySeconds()
+	m.interrupts = 0
+}
+
+// Utilization returns mean CPU utilization (0..1 across all cores) over the
+// current measurement window.
+func (m *Model) Utilization() float64 {
+	elapsed := des.Time(m.sim.Now() - m.windowStart).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	busy := m.cores.BusySeconds() - m.busyAtWindowZero
+	return busy / (float64(m.Cores()) * elapsed)
+}
+
+// BusySeconds returns core-seconds consumed in the current window.
+func (m *Model) BusySeconds() float64 {
+	return m.cores.BusySeconds() - m.busyAtWindowZero
+}

@@ -1,0 +1,297 @@
+// Package des implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// The kernel follows the classic SimPy model: simulated activities run as
+// ordinary Go functions ("processes") on their own goroutines, but exactly
+// one process executes at a time and control is handed off explicitly through
+// unbuffered channels. Combined with a totally ordered event queue (ordered
+// by virtual time, then by scheduling sequence number) this makes every
+// simulation run bit-for-bit reproducible regardless of GOMAXPROCS.
+//
+// A process interacts with the kernel through its *Proc handle: it can Sleep
+// for a virtual duration, Wait on an Event, or block on higher level
+// primitives (Resource, Queue) built from those two. Virtual time only
+// advances when every process is blocked.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is deliberately an
+// alias of time.Duration so literals like 3*time.Microsecond convert
+// directly.
+type Duration = time.Duration
+
+// Seconds returns the time as a floating point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros returns the time as a floating point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   int64 // tie-breaker: schedule order
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single simulation instance. It is not safe for concurrent use by
+// multiple OS threads; all interaction must happen either before Run or from
+// within simulation processes.
+type Sim struct {
+	now      Time
+	queue    eventHeap
+	seq      int64
+	yield    chan struct{} // signalled when the running process parks or exits
+	stopped  bool
+	parked   []*Proc          // processes currently blocked inside the kernel
+	starting map[*Proc]*event // spawned but not yet started processes
+	trace    func(t Time, format string, args ...any)
+}
+
+// New creates an empty simulation positioned at virtual time zero.
+func New() *Sim {
+	return &Sim{
+		yield:    make(chan struct{}),
+		starting: make(map[*Proc]*event),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// SetTrace installs a trace sink invoked by Proc.Logf. A nil sink disables
+// tracing (the default).
+func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.trace = fn }
+
+// schedule enqueues fn to run at virtual time at (which must not be in the
+// past) and returns the event so it can be cancelled.
+func (s *Sim) schedule(at Time, fn func()) *event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling into the past: %v < %v", at, s.now))
+	}
+	e := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// cancel removes a pending event. Cancelling an already-fired event is a
+// no-op.
+func (s *Sim) cancel(e *event) {
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Stop terminates the run loop after the current event completes. Pending
+// events are discarded and parked processes are unwound.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called, and
+// returns the final virtual time. On return every process goroutine has
+// terminated.
+func (s *Sim) Run() Time { return s.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamp <= limit and returns the current
+// virtual time afterwards. Like Run, it unwinds all remaining process
+// goroutines before returning, so it cannot be used to single-step a
+// simulation; it exists to bound runaway simulations.
+func (s *Sim) RunUntil(limit Time) Time {
+	for !s.stopped && len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.at > limit {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.at
+		e.fn()
+	}
+	s.unwindAll()
+	return s.now
+}
+
+// unwindAll unblocks every process that is still parked (or never started)
+// when the run loop exits, so their goroutines terminate. Each such Proc
+// reports Abandoned.
+func (s *Sim) unwindAll() {
+	for len(s.parked) > 0 || len(s.starting) > 0 {
+		var p *Proc
+		if n := len(s.parked); n > 0 {
+			p = s.parked[n-1]
+			s.parked = s.parked[:n-1]
+			p.parkedIdx = -1
+		} else {
+			for q, ev := range s.starting {
+				p = q
+				s.cancel(ev)
+				break
+			}
+			delete(s.starting, p)
+		}
+		p.abandoned = true
+		p.resume <- struct{}{}
+		<-s.yield
+	}
+}
+
+// Proc is the handle a simulated process uses to interact with the kernel.
+type Proc struct {
+	sim       *Sim
+	name      string
+	resume    chan struct{}
+	abandoned bool
+	parkedIdx int // index into sim.parked, -1 when running
+}
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Abandoned reports whether the simulation stopped while this process was
+// parked. It is primarily useful in deferred cleanup: the kernel unwinds
+// abandoned processes with a panic that is recovered by the spawn wrapper,
+// so ordinary code never observes it mid-function.
+func (p *Proc) Abandoned() bool { return p.abandoned }
+
+// Logf emits a trace line through the simulation's trace sink, if installed.
+func (p *Proc) Logf(format string, args ...any) {
+	if p.sim.trace != nil {
+		p.sim.trace(p.sim.now, "["+p.name+"] "+format, args...)
+	}
+}
+
+// Spawn creates a new process executing fn and schedules it to start at the
+// current virtual time. fn runs on its own goroutine but under the kernel's
+// one-at-a-time discipline.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.SpawnAt(s.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit (future) start time.
+func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{}), parkedIdx: -1}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abandonedPanic); !ok {
+					// Re-panic on another goroutine would lose the scheduler
+					// handshake; report loudly instead.
+					panic(fmt.Sprintf("des: process %q panicked: %v", name, r))
+				}
+			}
+			s.yield <- struct{}{}
+		}()
+		<-p.resume
+		if p.abandoned {
+			return
+		}
+		fn(p)
+	}()
+	ev := s.schedule(at, func() {
+		delete(s.starting, p)
+		s.resumeProc(p)
+	})
+	s.starting[p] = ev
+	return p
+}
+
+// resumeProc transfers control to p and waits for it to park or exit.
+// It must only be called from the scheduler loop (i.e. from an event fn).
+func (s *Sim) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// park blocks the calling process until something resumes it. The caller
+// must already have arranged for a wake-up (a scheduled event or a waiter
+// registration on some primitive).
+func (p *Proc) park() {
+	s := p.sim
+	p.parkedIdx = len(s.parked)
+	s.parked = append(s.parked, p)
+	s.yield <- struct{}{}
+	<-p.resume
+	if p.abandoned {
+		panic(abandonedPanic{})
+	}
+}
+
+// unpark removes p from the parked set; primitives call it right before
+// scheduling p's resume so that Stop-time unwinding cannot double-resume.
+func (s *Sim) unpark(p *Proc) {
+	i := p.parkedIdx
+	if i < 0 {
+		return
+	}
+	last := len(s.parked) - 1
+	s.parked[i] = s.parked[last]
+	s.parked[i].parkedIdx = i
+	s.parked = s.parked[:last]
+	p.parkedIdx = -1
+}
+
+// abandonedPanic unwinds a process goroutine whose simulation has stopped.
+type abandonedPanic struct{}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (yield to same-time events scheduled earlier).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	s.schedule(s.now+Time(d), func() {
+		s.unpark(p)
+		s.resumeProc(p)
+	})
+	p.park()
+}
+
+// Yield cedes control so that other events scheduled at the current instant
+// run before this process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

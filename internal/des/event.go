@@ -1,0 +1,57 @@
+package des
+
+// Event is a one-shot synchronization point carrying an optional value.
+// Any number of processes may Wait on it; firing it wakes them all (in the
+// deterministic order they began waiting). Waiting on an already-fired event
+// returns immediately.
+type Event struct {
+	sim     *Sim
+	fired   bool
+	value   any
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event bound to s.
+func NewEvent(s *Sim) *Event { return &Event{sim: s} }
+
+// Fired reports whether the event has been fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Value returns the value passed to Fire, or nil if not yet fired.
+func (e *Event) Value() any { return e.value }
+
+// Fire marks the event fired with the given value and schedules every waiter
+// to resume at the current virtual time. Firing twice panics: events are
+// one-shot by design, and double-firing always indicates a protocol bug in
+// the caller.
+func (e *Event) Fire(value any) {
+	if e.fired {
+		panic("des: event fired twice")
+	}
+	e.fired = true
+	e.value = value
+	s := e.sim
+	for _, p := range e.waiters {
+		p := p
+		s.unpark(p)
+		s.schedule(s.now, func() { s.resumeProc(p) })
+	}
+	e.waiters = nil
+}
+
+// Wait blocks p until the event fires and returns the fired value.
+func (e *Event) Wait(p *Proc) any {
+	if e.fired {
+		return e.value
+	}
+	e.waiters = append(e.waiters, p)
+	p.park()
+	return e.value
+}
+
+// WaitAll blocks until every event in evs has fired.
+func WaitAll(p *Proc, evs ...*Event) {
+	for _, e := range evs {
+		e.Wait(p)
+	}
+}

@@ -1,0 +1,66 @@
+package des
+
+import "math"
+
+// Rand is a small, fast, deterministic PRNG (splitmix64). Every simulated
+// component that needs randomness owns its own Rand seeded from the
+// experiment configuration, so results are reproducible and independent of
+// map iteration or scheduling order.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns 32 random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("des: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be > 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("des: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpDuration returns an exponentially distributed duration with the given
+// mean, for Poisson arrival/think-time modelling.
+func (r *Rand) ExpDuration(mean Duration) Duration {
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return Duration(-math.Log(u) * float64(mean))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

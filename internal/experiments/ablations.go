@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file holds ablations for the design parameters the paper identifies
+// but does not sweep: the IRD/ORD limit, physical-memory contiguity under
+// all-physical registration, the inline threshold, and the per-interrupt
+// cost behind the Read-Write design's interrupt-elimination argument.
+
+// AblationORD sweeps the outstanding-RDMA-Read limit (the Mellanox HCAs
+// allow 8; §4.1 blames the limit for Read-Read serialization and Fig. 9b
+// for all-physical WRITE degradation). It reports WRITE throughput (server
+// pulls via RDMA Read) and Read-Read READ throughput (client pulls) at 8
+// threads.
+func AblationORD(scale Scale) *stats.Table {
+	t := stats.NewTable("Ablation: IRD/ORD limit (8 threads, 128 KiB records, Linux profile)",
+		"maxORD", "RW write MB/s (all-physical)", "RR read MB/s")
+	fileSize := scale.div64(64 << 20)
+	for _, ord := range []int{1, 2, 4, 8, 16, 32} {
+		prof := profiles.LinuxSDR()
+		prof.Client.MaxORD = ord
+		prof.Server.MaxORD = ord
+		// All-physical fragments records into several read segments,
+		// pressing the limit hardest.
+		w := runIOzone(core.Config{
+			Profile: prof, Transport: core.TransportRDMA,
+			Design: rpcrdma.ReadWrite, RegMode: memreg.AllPhysical,
+		}, workload.IOzoneConfig{Threads: 8, FileSize: fileSize, RecordSize: 128 << 10})
+		r := runIOzone(core.Config{
+			Profile: prof, Transport: core.TransportRDMA,
+			Design: rpcrdma.ReadRead, RegMode: memreg.Regular,
+		}, workload.IOzoneConfig{Threads: 8, FileSize: fileSize, RecordSize: 128 << 10})
+		t.AddRow(ord, w.Write.MBps, r.Read.MBps)
+	}
+	return t
+}
+
+// AblationPhysicalContiguity sweeps the mean physically contiguous run
+// length — the degree of fragmentation all-physical registration suffers.
+// Long runs approach single-segment behaviour; page-sized runs make every
+// record a storm of small RDMA Reads.
+func AblationPhysicalContiguity(scale Scale) *stats.Table {
+	t := stats.NewTable("Ablation: physical contiguity under all-physical registration (8 threads, 128 KiB records)",
+		"mean run", "write MB/s", "read MB/s", "reads/op")
+	fileSize := scale.div64(64 << 20)
+	for _, run := range []int{4 << 10, 16 << 10, 32 << 10, 128 << 10, 1 << 20} {
+		prof := profiles.LinuxSDR()
+		prof.Client.MeanPhysRun = run
+		prof.Server.MeanPhysRun = run
+		cfg := core.Config{
+			Profile: prof, Transport: core.TransportRDMA,
+			Design: rpcrdma.ReadWrite, RegMode: memreg.AllPhysical,
+		}
+		cluster := core.NewCluster(cfg)
+		var res workload.IOzoneResult
+		cluster.Start("drv", func(p *des.Proc) {
+			res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+				Threads: 8, FileSize: fileSize, RecordSize: 128 << 10,
+			})
+		})
+		cluster.Run()
+		readsPerOp := 0.0
+		if reqs := cluster.Server.RDMA.Requests; reqs > 0 {
+			readsPerOp = float64(cluster.Server.RDMA.BulkReads) / float64(reqs) * 2
+		}
+		t.AddRow(memFmt(run), res.Write.MBps, res.Read.MBps, readsPerOp)
+	}
+	return t
+}
+
+// AblationInlineThreshold sweeps the inline threshold: below the typical
+// header+args size every call becomes an RPC Long Call (an extra RDMA Read
+// round trip); far above it, nothing changes for bulk-dominated workloads.
+func AblationInlineThreshold(scale Scale) *stats.Table {
+	t := stats.NewTable("Ablation: inline threshold (8 threads, 128 KiB records, Solaris profile)",
+		"threshold", "read MB/s", "long calls", "long replies")
+	fileSize := scale.div64(64 << 20)
+	for _, thresh := range []int{128, 256, 1024, 4096} {
+		prof := profiles.SolarisSDR()
+		prof.RDMAClient.InlineThreshold = thresh
+		prof.RDMAServer.InlineThreshold = thresh
+		cfg := core.Config{
+			Profile: prof, Transport: core.TransportRDMA,
+			Design: rpcrdma.ReadWrite, RegMode: memreg.Cache,
+		}
+		cluster := core.NewCluster(cfg)
+		var res workload.IOzoneResult
+		cluster.Start("drv", func(p *des.Proc) {
+			res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+				Threads: 8, FileSize: fileSize, RecordSize: 128 << 10, DirectIO: true,
+			})
+		})
+		cluster.Run()
+		t.AddRow(thresh, res.Read.MBps, cluster.Server.RDMA.LongCalls, cluster.Server.RDMA.LongReplies)
+	}
+	return t
+}
+
+// AblationInterruptCost sweeps the per-interrupt cost: the Read-Read design
+// takes an extra interrupt per operation (the DONE completion), so its gap
+// to Read-Write widens with interrupt cost — quantifying the paper's
+// interrupt-elimination argument.
+func AblationInterruptCost(scale Scale) *stats.Table {
+	t := stats.NewTable("Ablation: interrupt cost vs design gap (1 thread, 128 KiB records, Solaris profile)",
+		"intr cost", "RR read MB/s", "RW read MB/s", "RW gain %")
+	fileSize := scale.div64(32 << 20)
+	for _, cost := range []des.Duration{0, 3 * time.Microsecond, 6 * time.Microsecond, 12 * time.Microsecond, 24 * time.Microsecond} {
+		row := map[rpcrdma.Design]float64{}
+		for _, d := range []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite} {
+			prof := profiles.SolarisSDR()
+			prof.Client.InterruptCost = cost
+			prof.Server.InterruptCost = cost
+			res := runIOzone(core.Config{
+				Profile: prof, Transport: core.TransportRDMA,
+				Design: d, RegMode: memreg.Regular,
+			}, workload.IOzoneConfig{Threads: 1, FileSize: fileSize, RecordSize: 128 << 10, DirectIO: true})
+			row[d] = res.Read.MBps
+		}
+		gain := row[rpcrdma.ReadWrite]/row[rpcrdma.ReadRead]*100 - 100
+		t.AddRow(cost, row[rpcrdma.ReadRead], row[rpcrdma.ReadWrite], gain)
+	}
+	return t
+}
+
+// AblationCacheBound sweeps the registration-cache byte bound: an
+// undersized slab evicts and re-registers, degrading toward dynamic
+// registration — the static-limit pathology §4.3 warns about.
+func AblationCacheBound(scale Scale) *stats.Table {
+	t := stats.NewTable("Ablation: registration cache bound (8 threads, 128 KiB records, Solaris profile)",
+		"cache bytes", "read MB/s", "hits", "misses", "evictions")
+	fileSize := scale.div64(64 << 20)
+	for _, bound := range []int64{256 << 10, 1 << 20, 4 << 20, 64 << 20} {
+		prof := profiles.SolarisSDR()
+		cluster := core.NewCluster(core.Config{
+			Profile: prof, Transport: core.TransportRDMA,
+			Design: rpcrdma.ReadWrite, RegMode: memreg.Cache,
+			CacheMaxBytes: bound,
+		})
+		var res workload.IOzoneResult
+		cluster.Start("drv", func(p *des.Proc) {
+			res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+				Threads: 8, FileSize: fileSize, RecordSize: 128 << 10,
+			})
+		})
+		cluster.Run()
+		st := cluster.Server.Mgr.Stats()
+		t.AddRow(memFmt(int(bound)), res.Read.MBps, st.CacheHits, st.CacheMisses, st.Evictions)
+	}
+	return t
+}
+
+func memFmt(n int) string {
+	switch {
+	case n >= 1<<20:
+		return itoa(n>>20) + "MiB"
+	case n >= 1<<10:
+		return itoa(n>>10) + "KiB"
+	}
+	return itoa(n) + "B"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// AblationClientCache quantifies the paper's motivating claim: client-side
+// data caching helps only while the working set fits client memory. A
+// working set is re-read under increasing client cache sizes; once the
+// cache covers it, server READ traffic vanishes — below that, the client
+// hits the wire at nearly full rate, which is why uncached server access
+// speed (the paper's subject) matters.
+func AblationClientCache(scale Scale) *stats.Table {
+	t := stats.NewTable("Ablation: client data cache size vs server READ traffic (8 MiB working set, 3 re-read passes)",
+		"client cache", "server READ RPCs", "hit ratio")
+	workingSet := scale.div64(8 << 20)
+	// Sweep relative to the working set: an undersized cache thrashes under
+	// cyclic re-reads (LRU worst case), a covering cache eliminates traffic.
+	for _, frac := range []struct {
+		label string
+		bytes int64
+	}{
+		{"none", 0},
+		{"ws/4", workingSet / 4},
+		{"ws/2", workingSet / 2},
+		{"2*ws", 2 * workingSet},
+	} {
+		cacheBytes := frac.bytes
+		cluster := core.NewCluster(core.Config{
+			Profile: profiles.LinuxSDR(), Transport: core.TransportRDMA,
+			Design: rpcrdma.ReadWrite, RegMode: memreg.Cache,
+		})
+		cl := cluster.Clients[0]
+		var reads int64
+		var ratio float64
+		cluster.Start("drv", func(p *des.Proc) {
+			var dc *core.DataCache
+			if cacheBytes > 0 {
+				dc = cl.EnableDataCache(cacheBytes)
+			}
+			f, _ := cl.Create(p, "ws")
+			wbuf := cl.NewBuffer(1 << 20)
+			for off := int64(0); off < workingSet; off += 1 << 20 {
+				f.WriteAt(p, wbuf, 0, off, 1<<20, false)
+			}
+			before := cluster.Server.NFS.Ops[6] // ProcRead
+			dst := make([]byte, 64<<10)
+			rbuf := cl.NewBuffer(64 << 10)
+			for pass := 0; pass < 3; pass++ {
+				for off := int64(0); off < workingSet; off += 64 << 10 {
+					if dc != nil {
+						f.ReadAtCached(p, dst, off)
+					} else {
+						f.ReadAt(p, rbuf, 0, off, 64<<10, false)
+					}
+				}
+			}
+			reads = cluster.Server.NFS.Ops[6] - before
+			if dc != nil {
+				if tot := dc.Hits + dc.Misses; tot > 0 {
+					ratio = float64(dc.Hits) / float64(tot)
+				}
+			}
+		})
+		cluster.Run()
+		t.AddRow(frac.label, reads, ratio)
+	}
+	return t
+}

@@ -1,0 +1,329 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated testbeds. Each FigureN function runs the
+// corresponding parameter sweep and returns both structured series (for
+// assertions in benchmarks/tests) and formatted tables mirroring the
+// paper's axes.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scale divides the workload sizes to trade fidelity for wall-clock speed:
+// 1 reproduces the paper's sizes exactly; tests use larger divisors.
+type Scale int
+
+func (s Scale) div64(v int64) int64 {
+	if s <= 1 {
+		return v
+	}
+	return v / int64(s)
+}
+
+// IOzonePoint is one measured IOzone configuration.
+type IOzonePoint struct {
+	Threads    int
+	RecordSize int
+	Design     rpcrdma.Design
+	Mode       memreg.Mode
+	Result     workload.IOzoneResult
+}
+
+// runIOzone builds a cluster and runs one IOzone configuration.
+func runIOzone(cfg core.Config, io workload.IOzoneConfig) workload.IOzoneResult {
+	cluster := core.NewCluster(cfg)
+	var res workload.IOzoneResult
+	var err error
+	cluster.Start("iozone-driver", func(p *des.Proc) {
+		res, err = workload.RunIOzone(p, cluster, io)
+	})
+	cluster.Run()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: iozone run failed: %v", err))
+	}
+	return res
+}
+
+// Figure5and6 reproduces Figs. 5 and 6: IOzone READ and WRITE bandwidth
+// with direct I/O on the OpenSolaris testbed, Read-Read vs Read-Write,
+// record sizes 128 KiB and 1 MiB, 1-8 threads, plus client CPU utilization.
+type Figure5and6 struct {
+	Points []IOzonePoint
+	Read   *stats.Table // Fig. 5
+	Write  *stats.Table // Fig. 6
+	CPU    *stats.Table // client CPU (read phase)
+}
+
+// RunFigure5and6 executes the sweep.
+func RunFigure5and6(scale Scale) *Figure5and6 {
+	out := &Figure5and6{
+		Read:  stats.NewTable("Figure 5: IOzone Read bandwidth, Solaris tmpfs, direct I/O (MB/s)", "threads", "RR-128K", "RW-128K", "RR-1M", "RW-1M"),
+		Write: stats.NewTable("Figure 6: IOzone Write bandwidth, Solaris tmpfs, direct I/O (MB/s)", "threads", "RR-128K", "RW-128K", "RR-1M", "RW-1M"),
+		CPU:   stats.NewTable("Figures 5/6: client CPU utilization, read phase (%)", "threads", "Read-Read", "Read-Write"),
+	}
+	fileSize := scale.div64(128 << 20)
+	for threads := 1; threads <= 8; threads++ {
+		row := map[string]workload.IOzoneResult{}
+		for _, rec := range []int{128 << 10, 1 << 20} {
+			for _, design := range []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite} {
+				cfg := core.Config{
+					Profile:   profiles.SolarisSDR(),
+					Transport: core.TransportRDMA,
+					Design:    design,
+					RegMode:   memreg.Regular,
+				}
+				res := runIOzone(cfg, workload.IOzoneConfig{
+					Threads: threads, FileSize: fileSize, RecordSize: rec, DirectIO: true,
+				})
+				key := fmt.Sprintf("%v-%d", design, rec)
+				row[key] = res
+				out.Points = append(out.Points, IOzonePoint{
+					Threads: threads, RecordSize: rec, Design: design,
+					Mode: memreg.Regular, Result: res,
+				})
+			}
+		}
+		k128, m1 := 128<<10, 1<<20
+		out.Read.AddRow(threads,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, k128)].Read.MBps,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, k128)].Read.MBps,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, m1)].Read.MBps,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, m1)].Read.MBps)
+		out.Write.AddRow(threads,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, k128)].Write.MBps,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, k128)].Write.MBps,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, m1)].Write.MBps,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, m1)].Write.MBps)
+		out.CPU.AddRow(threads,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, k128)].Read.ClientCPUPct,
+			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, k128)].Read.ClientCPUPct)
+	}
+	return out
+}
+
+// Figure7 reproduces Fig. 7: IOzone bandwidth under the registration
+// strategies on Solaris (Read-Write design, 128 KiB records, buffered
+// client I/O so the client-side arena participates in the strategy).
+type Figure7 struct {
+	Points []IOzonePoint
+	Read   *stats.Table
+	Write  *stats.Table
+	CPU    *stats.Table
+}
+
+// RunFigure7 executes the sweep.
+func RunFigure7(scale Scale) *Figure7 {
+	out := &Figure7{
+		Read:  stats.NewTable("Figure 7a: IOzone Read bandwidth by registration strategy, Solaris (MB/s)", "threads", "Register", "FMR", "Cache"),
+		Write: stats.NewTable("Figure 7b: IOzone Write bandwidth by registration strategy, Solaris (MB/s)", "threads", "Register", "FMR", "Cache"),
+		CPU:   stats.NewTable("Figure 7: client CPU utilization, read phase (%)", "threads", "Register", "FMR", "Cache"),
+	}
+	fileSize := scale.div64(128 << 20)
+	modes := []memreg.Mode{memreg.Regular, memreg.FMR, memreg.Cache}
+	for threads := 1; threads <= 8; threads++ {
+		results := map[memreg.Mode]workload.IOzoneResult{}
+		for _, mode := range modes {
+			cfg := core.Config{
+				Profile:   profiles.SolarisSDR(),
+				Transport: core.TransportRDMA,
+				Design:    rpcrdma.ReadWrite,
+				RegMode:   mode,
+			}
+			res := runIOzone(cfg, workload.IOzoneConfig{
+				Threads: threads, FileSize: fileSize, RecordSize: 128 << 10,
+			})
+			results[mode] = res
+			out.Points = append(out.Points, IOzonePoint{
+				Threads: threads, RecordSize: 128 << 10,
+				Design: rpcrdma.ReadWrite, Mode: mode, Result: res,
+			})
+		}
+		out.Read.AddRow(threads, results[memreg.Regular].Read.MBps, results[memreg.FMR].Read.MBps, results[memreg.Cache].Read.MBps)
+		out.Write.AddRow(threads, results[memreg.Regular].Write.MBps, results[memreg.FMR].Write.MBps, results[memreg.Cache].Write.MBps)
+		out.CPU.AddRow(threads, results[memreg.Regular].Read.ClientCPUPct, results[memreg.FMR].Read.ClientCPUPct, results[memreg.Cache].Read.ClientCPUPct)
+	}
+	return out
+}
+
+// Figure8 reproduces Fig. 8: the FileBench-style OLTP workload (mean I/O
+// 128 KiB) under the registration schemes, throughput (ops/s) and client
+// CPU µs/op versus number of readers.
+type Figure8 struct {
+	Table  *stats.Table
+	Series map[memreg.Mode][]OLTPPoint
+}
+
+// OLTPPoint is one OLTP measurement.
+type OLTPPoint struct {
+	Readers int
+	Mode    memreg.Mode
+	Result  workload.OLTPResult
+}
+
+// RunFigure8 executes the sweep.
+func RunFigure8(scale Scale) *Figure8 {
+	out := &Figure8{
+		Table:  stats.NewTable("Figure 8: FileBench OLTP (mean I/O 128 KiB), Solaris", "readers", "Register ops/s", "FMR ops/s", "Cache ops/s", "Register uscpu/op", "Cache uscpu/op"),
+		Series: map[memreg.Mode][]OLTPPoint{},
+	}
+	duration := 2 * time.Second
+	if scale > 1 {
+		duration = time.Duration(int64(duration) / int64(scale))
+	}
+	readerCounts := []int{50, 100, 150, 200}
+	for _, readers := range readerCounts {
+		results := map[memreg.Mode]workload.OLTPResult{}
+		for _, mode := range []memreg.Mode{memreg.Regular, memreg.FMR, memreg.Cache} {
+			cluster := core.NewCluster(core.Config{
+				Profile:   profiles.SolarisSDR(),
+				Transport: core.TransportRDMA,
+				Design:    rpcrdma.ReadWrite,
+				RegMode:   mode,
+			})
+			var res workload.OLTPResult
+			var err error
+			cluster.Start("oltp-driver", func(p *des.Proc) {
+				res, err = workload.RunOLTP(p, cluster, workload.OLTPConfig{
+					Readers: readers, Writers: readers / 10, MeanIO: 128 << 10,
+					FileSize: scale.div64(512 << 20), Duration: duration, Seed: uint64(readers),
+				})
+			})
+			cluster.Run()
+			if err != nil {
+				panic(fmt.Sprintf("experiments: oltp failed: %v", err))
+			}
+			results[mode] = res
+			out.Series[mode] = append(out.Series[mode], OLTPPoint{Readers: readers, Mode: mode, Result: res})
+		}
+		out.Table.AddRow(readers,
+			results[memreg.Regular].OpsPerSec, results[memreg.FMR].OpsPerSec, results[memreg.Cache].OpsPerSec,
+			results[memreg.Regular].ClientUSPerOp, results[memreg.Cache].ClientUSPerOp)
+	}
+	return out
+}
+
+// Figure9 reproduces Fig. 9: registration strategies on the Linux port —
+// all-physical yields the best READ throughput but degrades WRITE through
+// physical fragmentation hitting the IRD/ORD limit.
+type Figure9 struct {
+	Points []IOzonePoint
+	Read   *stats.Table
+	Write  *stats.Table
+	CPU    *stats.Table
+}
+
+// RunFigure9 executes the sweep.
+func RunFigure9(scale Scale) *Figure9 {
+	out := &Figure9{
+		Read:  stats.NewTable("Figure 9a: IOzone Read bandwidth by registration strategy, Linux (MB/s)", "threads", "Register", "FMR", "All-Physical"),
+		Write: stats.NewTable("Figure 9b: IOzone Write bandwidth by registration strategy, Linux (MB/s)", "threads", "Register", "FMR", "All-Physical"),
+		CPU:   stats.NewTable("Figure 9: client CPU utilization, read phase (%)", "threads", "Register", "FMR", "All-Physical"),
+	}
+	fileSize := scale.div64(128 << 20)
+	modes := []memreg.Mode{memreg.Regular, memreg.FMR, memreg.AllPhysical}
+	for threads := 1; threads <= 8; threads++ {
+		results := map[memreg.Mode]workload.IOzoneResult{}
+		for _, mode := range modes {
+			cfg := core.Config{
+				Profile:   profiles.LinuxSDR(),
+				Transport: core.TransportRDMA,
+				Design:    rpcrdma.ReadWrite,
+				RegMode:   mode,
+			}
+			res := runIOzone(cfg, workload.IOzoneConfig{
+				Threads: threads, FileSize: fileSize, RecordSize: 128 << 10,
+			})
+			results[mode] = res
+			out.Points = append(out.Points, IOzonePoint{
+				Threads: threads, RecordSize: 128 << 10,
+				Design: rpcrdma.ReadWrite, Mode: mode, Result: res,
+			})
+		}
+		out.Read.AddRow(threads, results[memreg.Regular].Read.MBps, results[memreg.FMR].Read.MBps, results[memreg.AllPhysical].Read.MBps)
+		out.Write.AddRow(threads, results[memreg.Regular].Write.MBps, results[memreg.FMR].Write.MBps, results[memreg.AllPhysical].Write.MBps)
+		out.CPU.AddRow(threads, results[memreg.Regular].Read.ClientCPUPct, results[memreg.FMR].Read.ClientCPUPct, results[memreg.AllPhysical].Read.ClientCPUPct)
+	}
+	return out
+}
+
+// Figure10 reproduces Fig. 10: multi-client aggregate read bandwidth with
+// the RAID-0 back end, RDMA vs NFS/TCP on IPoIB and GigE, server page cache
+// of 4 GB (a) and 8 GB (b).
+type Figure10 struct {
+	Table  *stats.Table
+	Series map[core.Transport][]MultiClientPoint
+}
+
+// MultiClientPoint is one multi-client measurement.
+type MultiClientPoint struct {
+	Clients   int
+	Transport core.Transport
+	Result    workload.MultiClientResult
+}
+
+// RunFigure10 executes one server-memory configuration. serverMemBytes is
+// the machine's RAM; roughly 1 GB goes to the kernel and daemons, the rest
+// to the page cache.
+func RunFigure10(scale Scale, serverMemBytes int64, maxClients int) *Figure10 {
+	out := &Figure10{
+		Table: stats.NewTable(
+			fmt.Sprintf("Figure 10 (%d GB server): multi-client IOzone aggregate Read bandwidth (MB/s)", serverMemBytes>>30),
+			"clients", "RDMA", "IPoIB", "GigE"),
+		Series: map[core.Transport][]MultiClientPoint{},
+	}
+	cacheBytes := scale.div64(serverMemBytes - 1<<30)
+	fileSize := scale.div64(1 << 30)
+	for clients := 1; clients <= maxClients; clients++ {
+		results := map[core.Transport]workload.MultiClientResult{}
+		for _, tr := range []core.Transport{core.TransportRDMA, core.TransportIPoIB, core.TransportGigE} {
+			cluster := core.NewCluster(core.Config{
+				Profile:        profiles.LinuxDDR(),
+				Transport:      tr,
+				Design:         rpcrdma.ReadWrite,
+				RegMode:        memreg.AllPhysical,
+				Clients:        clients,
+				Backend:        core.BackendDisk,
+				PageCacheBytes: cacheBytes,
+			})
+			var res workload.MultiClientResult
+			var err error
+			cluster.Start("multiclient-driver", func(p *des.Proc) {
+				res, err = workload.RunMultiClient(p, cluster, workload.MultiClientConfig{
+					FileSize: fileSize, RecordSize: 1 << 20,
+				})
+			})
+			cluster.Run()
+			if err != nil {
+				panic(fmt.Sprintf("experiments: multiclient failed: %v", err))
+			}
+			results[tr] = res
+			out.Series[tr] = append(out.Series[tr], MultiClientPoint{Clients: clients, Transport: tr, Result: res})
+		}
+		out.Table.AddRow(clients,
+			results[core.TransportRDMA].AggregateReadMBps,
+			results[core.TransportIPoIB].AggregateReadMBps,
+			results[core.TransportGigE].AggregateReadMBps)
+	}
+	return out
+}
+
+// Table1 renders the communication-primitive property matrix, verified by
+// the fabric's semantic tests (internal/ibsim).
+func Table1() *stats.Table {
+	t := stats.NewTable("Table 1: Communication primitive properties",
+		"property", "Channel (Send/Recv)", "Memory (RDMA R/W)")
+	t.AddRow("Receive buffer exposed", "no", "yes")
+	t.AddRow("Receive buffer pre-posted", "yes", "no")
+	t.AddRow("Steering tag", "no", "yes")
+	t.AddRow("Rendezvous (addr+stag exchange)", "no", "yes")
+	return t
+}

@@ -1,0 +1,22 @@
+package ibsim
+
+import "errors"
+
+// Sentinel errors surfaced through CQE.Err and the verbs API.
+var (
+	// ErrProtection is a remote access that failed TPT validation: unknown
+	// or stale steering tag, missing permission, or out-of-bounds range.
+	ErrProtection = errors.New("ibsim: protection error")
+
+	// ErrQPError is returned for work posted to (or flushed from) a queue
+	// pair that has transitioned to the error state.
+	ErrQPError = errors.New("ibsim: queue pair in error state")
+
+	// ErrRNR is a send that found no posted receive after exhausting
+	// receiver-not-ready retries.
+	ErrRNR = errors.New("ibsim: receiver not ready")
+
+	// ErrRecvOverflow is a send whose payload exceeded the posted receive
+	// buffer.
+	ErrRecvOverflow = errors.New("ibsim: receive buffer overflow")
+)

@@ -1,0 +1,230 @@
+package ibsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/des"
+	"repro/internal/stats"
+)
+
+// Fabric is one simulated InfiniBand subnet: a set of nodes connected
+// through a non-blocking switch. Per-node port bandwidth is the only link
+// capacity constraint (the switch fabric itself is never the bottleneck,
+// matching a single-switch cluster like the paper's testbed).
+type Fabric struct {
+	Sim *des.Sim
+	// CopyData selects whether bulk RDMA payloads are materialized and
+	// copied between node memories. Tests enable it to verify end-to-end
+	// integrity; large experiments disable it to keep wall-clock time down.
+	// Control messages (Send payloads) are always real.
+	CopyData bool
+	Counters *stats.Counters
+	nodes    []*Node
+	qpn      int
+}
+
+// NewFabric creates an empty fabric on the given simulation.
+func NewFabric(sim *des.Sim, copyData bool) *Fabric {
+	return &Fabric{Sim: sim, CopyData: copyData, Counters: stats.NewCounters()}
+}
+
+// NodeConfig sizes one host and its HCA.
+type NodeConfig struct {
+	Name  string
+	Cores int // CPU cores
+
+	// HCA port characteristics.
+	PortBandwidth float64      // bytes/second each direction (full duplex)
+	PortLatency   des.Duration // one-way wire+switch latency
+
+	// MaxORD bounds the outstanding RDMA Reads a local QP may have in
+	// flight (and, symmetrically, the IRD it advertises). The Mellanox
+	// HCAs of the paper's era allow at most 8.
+	MaxORD int
+
+	// WQEOverhead is HCA processing time to launch one work request.
+	WQEOverhead des.Duration
+
+	// ReadResponseOverhead is channel turnaround per RDMA Read served by
+	// this node as responder: request decode, DMA setup and response
+	// scheduling occupy the transmit port beyond pure serialization. It is
+	// why splitting one transfer into many small Reads (the all-physical
+	// fragmentation of §5.2) costs real bandwidth and presses the IRD/ORD
+	// limit.
+	ReadResponseOverhead des.Duration
+
+	// Registration cost model. TPT updates are transactions across the I/O
+	// bus serviced by a single TPT engine on the HCA, so the *Bus costs
+	// serialize across all registrations on the node — this is why dynamic
+	// registration throughput is bounded by PageSize / per-page-bus-cost
+	// regardless of record size (the flat saturation of Fig. 5), and why
+	// §4.3 stresses that HCA response time grows with load.
+	RegPerPageCPU    des.Duration // pin + translate, charged to host CPU, per page
+	RegBase          des.Duration // per-registration TPT transaction overhead (serial)
+	RegPerPageBus    des.Duration // per-page TPT entry install (serial)
+	DeregPerPageCPU  des.Duration // unpin per page (host CPU)
+	DeregBase        des.Duration // TPT invalidate transaction overhead (serial)
+	DeregPerPageBus  des.Duration // per-page TPT entry invalidate (serial)
+	FMRMapCPU        des.Duration // FMR map pin/translate per page (host CPU)
+	FMRMapPerPageBus des.Duration // FMR map TPT write per page (serial, cheaper)
+
+	// CPU cost parameters (see package cpu). CopyNsPerByte is in
+	// nanoseconds per byte (fractional values allowed).
+	CopyNsPerByte float64
+	InterruptCost des.Duration
+	SyscallCost   des.Duration
+
+	// MeanPhysRun overrides the memory physical-contiguity model when > 0.
+	MeanPhysRun int
+
+	Seed uint64
+}
+
+// Node is one simulated host: CPU complex, memory, and an HCA.
+type Node struct {
+	fab  *Fabric
+	name string
+	cfg  NodeConfig
+
+	CPU *cpu.Model
+	Mem *Memory
+	HCA *HCA
+
+	txPort *des.Resource
+	rxPort *des.Resource
+}
+
+// AddNode creates a host on the fabric.
+func (f *Fabric) AddNode(cfg NodeConfig) *Node {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 2
+	}
+	if cfg.PortBandwidth <= 0 {
+		cfg.PortBandwidth = 900e6 // SDR x8 PCIe practical unidirectional
+	}
+	if cfg.PortLatency <= 0 {
+		cfg.PortLatency = 3 * time.Microsecond
+	}
+	if cfg.MaxORD <= 0 {
+		cfg.MaxORD = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = uint64(len(f.nodes) + 1)
+	}
+	n := &Node{
+		fab:    f,
+		name:   cfg.Name,
+		cfg:    cfg,
+		txPort: des.NewResource(f.Sim, cfg.Name+"/tx", 1),
+		rxPort: des.NewResource(f.Sim, cfg.Name+"/rx", 1),
+	}
+	n.CPU = cpu.New(f.Sim, cfg.Name, cfg.Cores)
+	n.CPU.CopyNsPerByte = cfg.CopyNsPerByte
+	n.CPU.InterruptCost = cfg.InterruptCost
+	n.CPU.SyscallCost = cfg.SyscallCost
+	n.Mem = newMemory(n, cfg.Seed*0x9E37+1)
+	if cfg.MeanPhysRun > 0 {
+		n.Mem.MeanPhysRun = cfg.MeanPhysRun
+	}
+	n.HCA = newHCA(n, cfg)
+	f.nodes = append(f.nodes, n)
+	return n
+}
+
+// Name returns the node's configured name.
+func (n *Node) Name() string { return n.name }
+
+// Config returns the node configuration.
+func (n *Node) Config() NodeConfig { return n.cfg }
+
+// Sim returns the owning simulation.
+func (n *Node) Sim() *des.Sim { return n.fab.Sim }
+
+// Fabric returns the owning fabric.
+func (n *Node) Fabric() *Fabric { return n.fab }
+
+// transferDuration computes wire occupancy for size bytes between two nodes:
+// the stream is clocked at the slower of the two port rates.
+func transferDuration(size int, from, to *Node) des.Duration {
+	bw := from.cfg.PortBandwidth
+	if to.cfg.PortBandwidth < bw {
+		bw = to.cfg.PortBandwidth
+	}
+	return des.Duration(float64(size) / bw * 1e9)
+}
+
+// transfer serializes size bytes from one node's port to another's,
+// occupying both ends (cut-through: both are held for the same interval, so
+// a single stream achieves full port bandwidth while concurrent streams
+// into one node share its port — the incast behaviour Fig. 10 relies on).
+// It returns after the last byte has left; the data arrives one PortLatency
+// later (callers schedule delivery).
+func transfer(p *des.Proc, from, to *Node, size int) {
+	transferExtra(p, from, to, size, 0)
+}
+
+// transferExtra is transfer with additional port occupancy (channel
+// turnaround for read responses).
+func transferExtra(p *des.Proc, from, to *Node, size int, extra des.Duration) {
+	from.txPort.Acquire(p, 1)
+	to.rxPort.Acquire(p, 1)
+	p.Sleep(transferDuration(size, from, to) + extra)
+	to.rxPort.Release(1)
+	from.txPort.Release(1)
+}
+
+// latency returns the one-way delivery latency between two nodes (the max
+// of the two port latencies: dominated by the slower NIC).
+func latency(from, to *Node) des.Duration {
+	l := from.cfg.PortLatency
+	if to.cfg.PortLatency > l {
+		l = to.cfg.PortLatency
+	}
+	return l
+}
+
+// PortUtilization returns (tx, rx) utilization of the node's port since
+// simulation start of the given window.
+func (n *Node) PortUtilization(since des.Time) (tx, rx float64) {
+	return n.txPort.Utilization(since), n.rxPort.Utilization(since)
+}
+
+// TxPort exposes the transmit-side port resource for transports (e.g. the
+// NFS/TCP baseline) that serialize their own wire occupancy.
+func (n *Node) TxPort() *des.Resource { return n.txPort }
+
+// RxPort exposes the receive-side port resource.
+func (n *Node) RxPort() *des.Resource { return n.rxPort }
+
+// WireDuration returns the serialization time of size bytes toward peer
+// (clocked at the slower port).
+func (n *Node) WireDuration(peer *Node, size int) des.Duration {
+	return transferDuration(size, n, peer)
+}
+
+// WireLatency returns the one-way delivery latency toward peer.
+func (n *Node) WireLatency(peer *Node) des.Duration { return latency(n, peer) }
+
+func (f *Fabric) nextQPN() int {
+	f.qpn++
+	return f.qpn
+}
+
+// Connect establishes a reliable connection between two nodes and returns
+// the two queue-pair endpoints. ORD on each side is clamped to the peer's
+// advertised inbound depth (IRD), as the CM negotiation does on real
+// hardware.
+func (f *Fabric) Connect(a, b *Node, cfg QPConfig) (*QP, *QP) {
+	qa := newQP(a, cfg, f.nextQPN())
+	qb := newQP(b, cfg, f.nextQPN())
+	qa.peer, qb.peer = qb, qa
+	ordA := min(a.cfg.MaxORD, b.cfg.MaxORD)
+	ordB := ordA
+	qa.ord = des.NewResource(f.Sim, fmt.Sprintf("%s/qp%d/ord", a.name, qa.qpn), ordA)
+	qb.ord = des.NewResource(f.Sim, fmt.Sprintf("%s/qp%d/ord", b.name, qb.qpn), ordB)
+	qa.start()
+	qb.start()
+	return qa, qb
+}

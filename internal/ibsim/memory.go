@@ -1,0 +1,215 @@
+// Package ibsim simulates an InfiniBand fabric at the verbs level: nodes
+// with HCAs, reliable-connection queue pairs, completion queues, memory
+// regions protected by 32-bit steering tags in a translation protection
+// table (TPT), RDMA Send/Recv channel primitives and RDMA Read/Write memory
+// primitives, with the ordering rules and IRD/ORD limits the paper's
+// protocol analysis depends on.
+//
+// The simulator moves real bytes for control messages (RDMA Send payloads)
+// always, and for bulk RDMA Read/Write data when Fabric.CopyData is enabled,
+// so protocol stacks built on it can be verified end to end. Timing flows
+// through the des kernel: link serialization on per-node port resources,
+// one-way wire latency, per-WQE HCA overhead, and a memory-registration cost
+// model.
+package ibsim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Buffer is a contiguous virtual-address allocation in a node's memory.
+// The paper's all-physical registration mode depends on the fact that a
+// virtually contiguous buffer is generally NOT physically contiguous: the
+// buffer records its physical runs, and physical-mode chunk building must
+// emit one segment per run.
+type Buffer struct {
+	mem   *Memory
+	Base  uint64 // virtual base address (node-local address space)
+	Size  int
+	data  []byte // materialized only when the fabric copies data
+	runs  []int  // physical run lengths, summing to Size
+	freed bool
+}
+
+// Addr returns the virtual address of byte off within the buffer.
+func (b *Buffer) Addr(off int) uint64 { return b.Base + uint64(off) }
+
+// Data returns the materialized bytes, or nil when the fabric is running in
+// phantom-data mode.
+func (b *Buffer) Data() []byte { return b.data }
+
+// Bytes returns the sub-slice [off, off+n) of the materialized data. It
+// panics on out-of-range access — that is always a simulator-user bug, never
+// a simulated protocol condition.
+func (b *Buffer) Bytes(off, n int) []byte {
+	if off < 0 || n < 0 || off+n > b.Size {
+		panic(fmt.Sprintf("ibsim: buffer access [%d,%d) outside size %d", off, off+n, b.Size))
+	}
+	if b.data == nil {
+		return nil
+	}
+	return b.data[off : off+n]
+}
+
+// PhysicalRuns returns the lengths of the physically contiguous extents
+// covering [off, off+n) of the buffer, in order. DMA addressed by physical
+// pages (the all-physical / global steering tag mode) needs one descriptor —
+// and hence one RPC/RDMA chunk segment — per run.
+func (b *Buffer) PhysicalRuns(off, n int) []int {
+	if off < 0 || n < 0 || off+n > b.Size {
+		panic(fmt.Sprintf("ibsim: PhysicalRuns [%d,%d) outside size %d", off, off+n, b.Size))
+	}
+	var out []int
+	pos := 0
+	for _, run := range b.runs {
+		runStart, runEnd := pos, pos+run
+		pos = runEnd
+		if runEnd <= off {
+			continue
+		}
+		if runStart >= off+n {
+			break
+		}
+		s := max(runStart, off)
+		e := min(runEnd, off+n)
+		out = append(out, e-s)
+	}
+	return out
+}
+
+// Freed reports whether the buffer has been released.
+func (b *Buffer) Freed() bool { return b.freed }
+
+// Memory is one node's virtual address space: a bump allocator handing out
+// Buffers at increasing addresses, with a synthetic physical-contiguity
+// model.
+type Memory struct {
+	node *Node
+	next uint64
+	rng  *des.Rand
+
+	buffers []*Buffer // all live allocations, ordered by Base
+
+	// MeanPhysRun is the mean physically contiguous run length in bytes.
+	// Kernel slab/page allocators on a busy machine rarely produce long
+	// contiguous ranges; the default (32 KiB) is chosen so that all-physical
+	// registration of a 128 KiB record needs ~4 read segments, reproducing
+	// the paper's §5.2 observation that all-physical WRITE hits the IRD/ORD
+	// limit.
+	MeanPhysRun int
+
+	allocated int64
+}
+
+const pageSize = 4096
+
+func newMemory(node *Node, seed uint64) *Memory {
+	return &Memory{node: node, next: 0x1000, rng: des.NewRand(seed), MeanPhysRun: 32 << 10}
+}
+
+// Alloc returns a new buffer of the given size. Physical runs are drawn
+// deterministically from the node's RNG: page-aligned, geometric-ish run
+// lengths around MeanPhysRun.
+func (m *Memory) Alloc(size int) *Buffer {
+	if size <= 0 {
+		panic("ibsim: Alloc with non-positive size")
+	}
+	b := &Buffer{mem: m, Base: m.next, Size: size}
+	m.next += uint64(size)
+	// Keep a guard gap so adjacent buffers are never part of the same
+	// registered range by accident.
+	m.next += pageSize
+	if m.node.fab.CopyData {
+		b.data = make([]byte, size)
+	}
+	remaining := size
+	for remaining > 0 {
+		pagesMean := m.MeanPhysRun / pageSize
+		if pagesMean < 1 {
+			pagesMean = 1
+		}
+		// Uniform in [1, 2*mean] pages approximates a geometric distribution
+		// closely enough and is cheap and bounded.
+		run := (1 + m.rng.Intn(2*pagesMean)) * pageSize
+		if run > remaining {
+			run = remaining
+		}
+		b.runs = append(b.runs, run)
+		remaining -= run
+	}
+	m.allocated += int64(size)
+	m.buffers = append(m.buffers, b)
+	return b
+}
+
+// find resolves a virtual address to the live buffer containing it, plus the
+// offset within that buffer. It returns (nil, 0) for unmapped addresses.
+// Buffers are allocated at increasing Base, so binary search applies.
+func (m *Memory) find(addr uint64) (*Buffer, int) {
+	lo, hi := 0, len(m.buffers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.buffers[mid].Base+uint64(m.buffers[mid].Size) <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(m.buffers) {
+		b := m.buffers[lo]
+		if addr >= b.Base && addr < b.Base+uint64(b.Size) && !b.freed {
+			return b, int(addr - b.Base)
+		}
+	}
+	return nil, 0
+}
+
+// AllocMaterialized returns a buffer whose bytes are always backed by real
+// storage, even when the fabric runs in phantom-data mode. Protocol engines
+// use it for buffers that carry control information moved by RDMA (long
+// calls, long replies), which must survive the trip byte-exact.
+func (m *Memory) AllocMaterialized(size int) *Buffer {
+	b := m.Alloc(size)
+	if b.data == nil {
+		b.data = make([]byte, size)
+	}
+	return b
+}
+
+// AllocContiguous returns a buffer that is physically contiguous (a single
+// run), modelling a reserved DMA region.
+func (m *Memory) AllocContiguous(size int) *Buffer {
+	b := m.Alloc(size)
+	b.runs = []int{size}
+	return b
+}
+
+// Free releases the buffer. The address range is not reused (bump
+// allocator), which makes stale-address bugs in protocol code detectable.
+func (m *Memory) Free(b *Buffer) {
+	if b.freed {
+		panic("ibsim: double free")
+	}
+	b.freed = true
+	m.allocated -= int64(b.Size)
+}
+
+// AllocatedBytes returns the total live allocation, for leak assertions in
+// tests (e.g. the malicious-client buffer-pinning experiment).
+func (m *Memory) AllocatedBytes() int64 { return m.allocated }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,447 @@
+package ibsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+)
+
+// Opcode identifies a work request type.
+type Opcode int
+
+// Work request opcodes.
+const (
+	OpSend Opcode = iota
+	OpWrite
+	OpRead
+	OpRecv
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpWrite:
+		return "RDMA_WRITE"
+	case OpRead:
+		return "RDMA_READ"
+	case OpRecv:
+		return "RECV"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// LocalSeg is one entry of a local gather/scatter list.
+type LocalSeg struct {
+	Buf *Buffer
+	Off int
+	Len int
+}
+
+// SendWQE is a work request posted to a send queue.
+type SendWQE struct {
+	WRID uint64
+	Op   Opcode
+
+	// Payload carries the wire bytes of an RDMA Send (always materialized:
+	// sends are the protocol's control messages).
+	Payload []byte
+
+	// Local is the gather (Write/Read) list for memory primitives; segment
+	// lengths define the transfer size.
+	Local []LocalSeg
+
+	// Remote addresses the peer memory for Write/Read.
+	RemoteKey  uint32
+	RemoteAddr uint64
+
+	// Signaled requests a completion on the send CQ.
+	Signaled bool
+
+	// Done, when non-nil, is fired with the *CQE regardless of Signaled;
+	// protocol engines use it to wait for one specific WR without draining
+	// the CQ.
+	Done *des.Event
+}
+
+// Size returns the wire size of the request's data.
+func (w *SendWQE) Size() int {
+	if w.Op == OpSend {
+		return len(w.Payload)
+	}
+	n := 0
+	for _, s := range w.Local {
+		n += s.Len
+	}
+	return n
+}
+
+// RecvWQE is a posted receive buffer.
+type RecvWQE struct {
+	WRID uint64
+	Cap  int // receive buffer capacity; larger sends fail
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	WRID    uint64
+	Op      Opcode
+	Err     error // nil on success
+	Bytes   int
+	Payload []byte // received Send payload (OpRecv only)
+	QP      *QP
+}
+
+// CQ is a completion queue. Waiting on an empty CQ and being woken by a new
+// completion costs the node one interrupt (event-driven mode); finding a
+// completion already queued is a poll and costs nothing — this is how the
+// Read-Write design's interrupt elimination becomes visible in CPU numbers.
+type CQ struct {
+	node *Node
+	q    *des.Queue
+}
+
+// NewCQ creates a completion queue on the node.
+func NewCQ(n *Node, name string) *CQ {
+	return &CQ{node: n, q: des.NewQueue(n.fab.Sim, name)}
+}
+
+func (cq *CQ) post(c *CQE) { cq.q.Put(c) }
+
+// Wait blocks until a completion is available and returns it. If the caller
+// had to block, the wake-up is charged as a hardware interrupt.
+func (cq *CQ) Wait(p *des.Proc) *CQE {
+	blocked := cq.q.Len() == 0
+	v, ok := cq.q.Get(p)
+	if !ok {
+		return nil
+	}
+	if blocked {
+		cq.node.CPU.Interrupt(p)
+	}
+	return v.(*CQE)
+}
+
+// Poll returns a completion without blocking.
+func (cq *CQ) Poll() (*CQE, bool) {
+	v, ok := cq.q.TryGet()
+	if !ok {
+		return nil, false
+	}
+	return v.(*CQE), true
+}
+
+// Len returns the number of queued completions.
+func (cq *CQ) Len() int { return cq.q.Len() }
+
+// QPConfig tunes a connection.
+type QPConfig struct {
+	// RNRRetryDelay is the wait before redelivering a send that found no
+	// posted receive; RNRRetryLimit bounds the attempts.
+	RNRRetryDelay des.Duration
+	RNRRetryLimit int
+}
+
+func (c *QPConfig) defaults() {
+	if c.RNRRetryDelay <= 0 {
+		c.RNRRetryDelay = 100 * time.Microsecond
+	}
+	if c.RNRRetryLimit <= 0 {
+		c.RNRRetryLimit = 7
+	}
+}
+
+const readRequestWireSize = 16 // RDMA Read request packet (header only)
+
+// QP is one endpoint of a reliable connection.
+type QP struct {
+	node *Node
+	cfg  QPConfig
+	qpn  int
+	peer *QP
+
+	sq     *des.Queue // *SendWQE
+	rq     []*RecvWQE
+	SendCQ *CQ
+	RecvCQ *CQ
+
+	ord    *des.Resource // outstanding RDMA Read slots (requester side)
+	errSt  error         // non-nil once in error state
+	closed bool
+}
+
+func newQP(n *Node, cfg QPConfig, qpn int) *QP {
+	cfg.defaults()
+	qp := &QP{
+		node: n,
+		cfg:  cfg,
+		qpn:  qpn,
+		sq:   des.NewQueue(n.fab.Sim, fmt.Sprintf("%s/qp%d/sq", n.name, qpn)),
+	}
+	qp.SendCQ = NewCQ(n, fmt.Sprintf("%s/qp%d/scq", n.name, qpn))
+	qp.RecvCQ = NewCQ(n, fmt.Sprintf("%s/qp%d/rcq", n.name, qpn))
+	return qp
+}
+
+// Node returns the node owning this endpoint.
+func (q *QP) Node() *Node { return q.node }
+
+// Peer returns the remote endpoint.
+func (q *QP) Peer() *QP { return q.peer }
+
+// QPN returns the queue pair number.
+func (q *QP) QPN() int { return q.qpn }
+
+// MaxORD returns the negotiated outstanding-RDMA-Read limit.
+func (q *QP) MaxORD() int { return q.ord.Capacity() }
+
+// Err returns the error that moved the QP to the error state, or nil.
+func (q *QP) Err() error { return q.errSt }
+
+// setError transitions the QP (and its peer) to the error state and
+// flushes the receive side: consumers blocked on the RecvCQ get an error
+// completion, as flushed WRs do on real hardware, so protocol engines
+// learn of the failure instead of waiting forever.
+func (q *QP) setError(err error) {
+	if q.errSt == nil {
+		q.errSt = err
+		q.node.fab.Counters.Inc("qp.error")
+		q.RecvCQ.post(&CQE{Op: OpRecv, Err: fmt.Errorf("%w: flushed", err), QP: q})
+	}
+	if q.peer != nil && q.peer.errSt == nil {
+		q.peer.setError(fmt.Errorf("%w (peer: %v)", ErrQPError, err))
+	}
+}
+
+// PostRecv posts a receive buffer of the given capacity.
+func (q *QP) PostRecv(wrid uint64, capacity int) {
+	q.rq = append(q.rq, &RecvWQE{WRID: wrid, Cap: capacity})
+}
+
+// PostedRecvs returns the current receive queue depth.
+func (q *QP) PostedRecvs() int { return len(q.rq) }
+
+// PostSend enqueues a work request for the send engine.
+func (q *QP) PostSend(w *SendWQE) {
+	if q.closed {
+		panic("ibsim: post on closed QP")
+	}
+	q.sq.Put(w)
+}
+
+// PostAndWait posts a work request and blocks until its completion, which it
+// returns. This is the synchronous pattern kernel RPC threads use (e.g. the
+// server blocking on its RDMA Read of a write chunk).
+func (q *QP) PostAndWait(p *des.Proc, w *SendWQE) *CQE {
+	w.Done = des.NewEvent(q.node.fab.Sim)
+	q.PostSend(w)
+	blocked := !w.Done.Fired()
+	cqe := w.Done.Wait(p).(*CQE)
+	if blocked {
+		q.node.CPU.Interrupt(p)
+	}
+	return cqe
+}
+
+// Close shuts the endpoint down; queued and future work is flushed.
+func (q *QP) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.setError(ErrQPError)
+	q.sq.Close()
+}
+
+// start launches the send-queue engine.
+func (q *QP) start() {
+	q.node.fab.Sim.Spawn(fmt.Sprintf("%s/qp%d/engine", q.node.name, q.qpn), q.engine)
+}
+
+// complete posts a CQE for w and fires its done event.
+func (q *QP) complete(w *SendWQE, err error, bytes int) {
+	cqe := &CQE{WRID: w.WRID, Op: w.Op, Err: err, Bytes: bytes, QP: q}
+	if w.Signaled {
+		q.SendCQ.post(cqe)
+	}
+	if w.Done != nil {
+		w.Done.Fire(cqe)
+	}
+}
+
+// engine is the per-QP send-queue processor. It launches work requests
+// strictly in order: Send/Write data serializes on the transmit port (so a
+// Send posted after a Write arrives after the Write's data — the ordering
+// guarantee the Read-Write design exploits), while an RDMA Read only
+// transmits its small request packet and its data returns asynchronously
+// (so nothing orders a later Send against Read data — the reason the
+// Read-Read server must block).
+func (q *QP) engine(p *des.Proc) {
+	ctr := q.node.fab.Counters
+	for {
+		v, ok := q.sq.Get(p)
+		if !ok {
+			return
+		}
+		w := v.(*SendWQE)
+		if q.errSt != nil {
+			ctr.Inc("wqe.flushed")
+			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+			continue
+		}
+		p.Sleep(q.node.cfg.WQEOverhead)
+		switch w.Op {
+		case OpSend:
+			q.launchSend(p, w)
+		case OpWrite:
+			q.launchWrite(p, w)
+		case OpRead:
+			q.launchRead(p, w)
+		default:
+			panic("ibsim: bad opcode on send queue")
+		}
+	}
+}
+
+func (q *QP) launchSend(p *des.Proc, w *SendWQE) {
+	ctr := q.node.fab.Counters
+	size := len(w.Payload)
+	ctr.Inc("op.send")
+	ctr.Add("bytes.send", int64(size))
+	transfer(p, q.node, q.peer.node, size)
+	s := q.node.fab.Sim
+	lat := latency(q.node, q.peer.node)
+	arrive := s.Now() + des.Time(lat)
+	s.SpawnAt(arrive, "deliver-send", func(dp *des.Proc) {
+		q.deliverSend(dp, w, 0)
+	})
+}
+
+// deliverSend consumes a posted receive at the peer, retrying on RNR.
+func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
+	peer := q.peer
+	ctr := q.node.fab.Counters
+	s := q.node.fab.Sim
+	if peer.errSt != nil {
+		q.complete(w, peer.errSt, 0)
+		return
+	}
+	if len(peer.rq) == 0 {
+		ctr.Inc("rnr")
+		if attempt >= q.cfg.RNRRetryLimit {
+			err := fmt.Errorf("%w after %d retries", ErrRNR, attempt)
+			q.setError(err)
+			q.complete(w, err, 0)
+			return
+		}
+		dp.Sleep(q.cfg.RNRRetryDelay)
+		q.deliverSend(dp, w, attempt+1)
+		return
+	}
+	r := peer.rq[0]
+	peer.rq = peer.rq[1:]
+	if len(w.Payload) > r.Cap {
+		err := fmt.Errorf("%w: %d > %d", ErrRecvOverflow, len(w.Payload), r.Cap)
+		q.setError(err)
+		peer.RecvCQ.post(&CQE{WRID: r.WRID, Op: OpRecv, Err: err, QP: peer})
+		q.complete(w, err, 0)
+		return
+	}
+	peer.RecvCQ.post(&CQE{
+		WRID: r.WRID, Op: OpRecv,
+		Bytes: len(w.Payload), Payload: w.Payload, QP: peer,
+	})
+	// Ack returns to the sender one latency later.
+	lat := latency(q.node, q.peer.node)
+	s.SpawnAt(s.Now()+des.Time(lat), "send-ack", func(*des.Proc) {
+		q.complete(w, nil, len(w.Payload))
+	})
+}
+
+func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
+	ctr := q.node.fab.Counters
+	size := w.Size()
+	ctr.Inc("op.write")
+	ctr.Add("bytes.write", int64(size))
+	transfer(p, q.node, q.peer.node, size)
+	s := q.node.fab.Sim
+	lat := latency(q.node, q.peer.node)
+	s.SpawnAt(s.Now()+des.Time(lat), "deliver-write", func(*des.Proc) {
+		peer := q.peer
+		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteWrite)
+		if err != nil {
+			ctr.Inc("protection_error")
+			q.setError(err)
+			q.complete(w, err, 0)
+			return
+		}
+		// Data moves whenever both endpoints are materialized: control
+		// payloads (long calls/replies) are always real even in
+		// phantom-data mode; phantom bulk buffers skip naturally.
+		copyOut(mr, w.RemoteAddr, w.Local)
+		q.complete(w, nil, size)
+	})
+}
+
+func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
+	ctr := q.node.fab.Counters
+	size := w.Size()
+	ctr.Inc("op.read")
+	ctr.Add("bytes.read", int64(size))
+	// ORD throttling: a Read that cannot get a slot stalls the send queue
+	// head (strict in-order initiation), serializing everything behind it.
+	q.ord.Acquire(p, 1)
+	transfer(p, q.node, q.peer.node, readRequestWireSize)
+	s := q.node.fab.Sim
+	lat := latency(q.node, q.peer.node)
+	s.SpawnAt(s.Now()+des.Time(lat), "read-responder", func(rp *des.Proc) {
+		peer := q.peer
+		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteRead)
+		if err != nil {
+			ctr.Inc("protection_error")
+			s.SpawnAt(s.Now()+des.Time(lat), "read-nak", func(*des.Proc) {
+				q.setError(err)
+				q.ord.Release(1)
+				q.complete(w, err, 0)
+			})
+			return
+		}
+		// Responder streams the data back on its transmit port, paying the
+		// per-read channel turnaround.
+		transferExtra(rp, peer.node, q.node, size, peer.node.cfg.ReadResponseOverhead)
+		s.SpawnAt(s.Now()+des.Time(lat), "read-data", func(*des.Proc) {
+			copyIn(w.Local, mr, w.RemoteAddr)
+			q.ord.Release(1)
+			q.complete(w, nil, size)
+		})
+	})
+}
+
+// copyOut materializes an RDMA Write: local gather list -> remote MR bytes.
+func copyOut(mr *MR, remoteAddr uint64, local []LocalSeg) {
+	buf, off := mr.resolve(remoteAddr)
+	if buf == nil || buf.data == nil {
+		return
+	}
+	for _, seg := range local {
+		if seg.Buf != nil && seg.Buf.data != nil {
+			copy(buf.data[off:off+seg.Len], seg.Buf.data[seg.Off:seg.Off+seg.Len])
+		}
+		off += seg.Len
+	}
+}
+
+// copyIn materializes an RDMA Read: remote MR bytes -> local scatter list.
+func copyIn(local []LocalSeg, mr *MR, remoteAddr uint64) {
+	buf, off := mr.resolve(remoteAddr)
+	if buf == nil || buf.data == nil {
+		return
+	}
+	for _, seg := range local {
+		if seg.Buf != nil && seg.Buf.data != nil {
+			copy(seg.Buf.data[seg.Off:seg.Off+seg.Len], buf.data[off:off+seg.Len])
+		}
+		off += seg.Len
+	}
+}

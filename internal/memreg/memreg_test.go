@@ -1,0 +1,292 @@
+package memreg
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ibsim"
+)
+
+// costNode builds a node with visible registration costs so strategy cost
+// differences are measurable in virtual time.
+func costNode(sim *des.Sim) *ibsim.Node {
+	fab := ibsim.NewFabric(sim, false)
+	return fab.AddNode(ibsim.NodeConfig{
+		Name: "n", Cores: 4,
+		RegPerPageCPU: 500 * time.Nanosecond,
+		RegBase:       10 * time.Microsecond, RegPerPageBus: 300 * time.Nanosecond,
+		DeregPerPageCPU: 200 * time.Nanosecond,
+		DeregBase:       5 * time.Microsecond, DeregPerPageBus: 150 * time.Nanosecond,
+		FMRMapCPU:   300 * time.Nanosecond,
+		MeanPhysRun: 32 << 10,
+	})
+}
+
+// timeOp measures the virtual time an operation takes inside a proc.
+func timeOp(t *testing.T, node *ibsim.Node, fn func(p *des.Proc)) des.Duration {
+	t.Helper()
+	var took des.Duration
+	sim := node.Sim()
+	sim.Spawn("op", func(p *des.Proc) {
+		start := p.Now()
+		fn(p)
+		took = des.Duration(p.Now() - start)
+	})
+	sim.Run()
+	return took
+}
+
+func TestRegularChargesFullCost(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	took := timeOp(t, node, func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: Regular})
+		c := m.Get(p, 128<<10, ibsim.AccessLocalWrite)
+		if len(c.Reg.Segments()) != 1 {
+			t.Errorf("segments = %d, want 1", len(c.Reg.Segments()))
+		}
+		m.Put(p, c)
+	})
+	// 32 pages * 500ns + 20µs bus + dereg 32*200ns + 10µs ≈ 52.4µs
+	if took < 40*time.Microsecond {
+		t.Fatalf("regular register+deregister took %v, expected substantial cost", took)
+	}
+}
+
+func TestFMRCheaperThanRegular(t *testing.T) {
+	simR := des.New()
+	nodeR := costNode(simR)
+	regular := timeOp(t, nodeR, func(p *des.Proc) {
+		m := NewManager(p, nodeR, Config{Mode: Regular})
+		for i := 0; i < 10; i++ {
+			c := m.Get(p, 128<<10, ibsim.AccessLocalWrite)
+			m.Put(p, c)
+		}
+	})
+	simF := des.New()
+	nodeF := costNode(simF)
+	var fmrOnly des.Duration
+	simF.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, nodeF, Config{Mode: FMR, FMRPoolSize: 8, FMRMaxLen: 1 << 20})
+		start := p.Now()
+		for i := 0; i < 10; i++ {
+			c := m.Get(p, 128<<10, ibsim.AccessLocalWrite)
+			m.Put(p, c)
+		}
+		fmrOnly = des.Duration(p.Now() - start)
+		if m.Stats().FMRMaps != 10 {
+			t.Errorf("fmr maps = %d, want 10", m.Stats().FMRMaps)
+		}
+	})
+	simF.Run()
+	if fmrOnly >= regular {
+		t.Fatalf("FMR (%v) should beat regular (%v)", fmrOnly, regular)
+	}
+}
+
+func TestFMRFallbackForLargeRegions(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	sim.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: FMR, FMRPoolSize: 4, FMRMaxLen: 64 << 10})
+		c := m.Get(p, 1<<20, ibsim.AccessLocalWrite) // larger than FMR max
+		if m.Stats().FMRFallback != 1 || m.Stats().Registers != 1 {
+			t.Errorf("stats = %+v, want fallback to regular", m.Stats())
+		}
+		m.Put(p, c)
+	})
+	sim.Run()
+}
+
+func TestFMRPoolExhaustionFallsBack(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	sim.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: FMR, FMRPoolSize: 2, FMRMaxLen: 1 << 20})
+		a := m.Get(p, 4096, ibsim.AccessLocalWrite)
+		b := m.Get(p, 4096, ibsim.AccessLocalWrite)
+		c := m.Get(p, 4096, ibsim.AccessLocalWrite) // pool exhausted
+		if m.Stats().FMRFallback != 1 {
+			t.Errorf("fallbacks = %d, want 1", m.Stats().FMRFallback)
+		}
+		m.Put(p, a)
+		m.Put(p, b)
+		m.Put(p, c)
+		d := m.Get(p, 4096, ibsim.AccessLocalWrite) // handles returned
+		if m.Stats().FMRMaps != 3 {
+			t.Errorf("maps = %d, want 3", m.Stats().FMRMaps)
+		}
+		m.Put(p, d)
+	})
+	sim.Run()
+}
+
+func TestAllPhysicalZeroCostButFragmented(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	var segs int
+	took := timeOp(t, node, func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: AllPhysical})
+		c := m.Get(p, 128<<10, ibsim.AccessLocalWrite)
+		segs = len(c.Reg.Segments())
+		total := 0
+		for _, s := range c.Reg.Segments() {
+			if s.Rkey != node.HCA.GlobalMR().Rkey() {
+				t.Error("segment not using global rkey")
+			}
+			total += s.Len
+		}
+		if total != 128<<10 {
+			t.Errorf("segments cover %d bytes, want %d", total, 128<<10)
+		}
+		m.Put(p, c)
+	})
+	if took > time.Microsecond {
+		t.Fatalf("all-physical took %v, want ~0", took)
+	}
+	if segs < 2 {
+		t.Fatalf("segments = %d, want fragmentation into multiple runs", segs)
+	}
+}
+
+func TestCacheHitsAfterWarmup(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	var cold, warm des.Duration
+	sim.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: Cache})
+		start := p.Now()
+		c := m.Get(p, 128<<10, ibsim.AccessLocalWrite)
+		cold = des.Duration(p.Now() - start)
+		m.Put(p, c)
+		start = p.Now()
+		for i := 0; i < 10; i++ {
+			c := m.Get(p, 128<<10, ibsim.AccessLocalWrite)
+			m.Put(p, c)
+		}
+		warm = des.Duration(p.Now() - start)
+		st := m.Stats()
+		if st.CacheMisses != 1 || st.CacheHits != 10 {
+			t.Errorf("stats = %+v, want 1 miss / 10 hits", st)
+		}
+	})
+	sim.Run()
+	if warm != 0 {
+		t.Fatalf("warm path took %v, want zero cost", warm)
+	}
+	if cold == 0 {
+		t.Fatal("cold path should cost a registration")
+	}
+}
+
+func TestCacheBoundedAndEvicts(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	sim.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: Cache, CacheMaxBytes: 256 << 10})
+		var chunks []*Chunk
+		for i := 0; i < 8; i++ {
+			chunks = append(chunks, m.Get(p, 64<<10, ibsim.AccessLocalWrite))
+		}
+		for _, c := range chunks {
+			m.Put(p, c)
+		}
+		if m.CachedBytes() > 256<<10 {
+			t.Errorf("cached bytes = %d exceeds bound", m.CachedBytes())
+		}
+		if m.Stats().Evictions == 0 {
+			t.Error("expected evictions beyond the byte bound")
+		}
+	})
+	sim.Run()
+}
+
+func TestCacheNeverExposesBuffersRemotely(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	sim.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: Cache})
+		for i := 0; i < 5; i++ {
+			c := m.Get(p, 128<<10, ibsim.AccessLocalWrite)
+			m.Put(p, c)
+		}
+		if node.HCA.RemoteExposedBytes() != 0 {
+			t.Errorf("registration cache exposed %d bytes remotely", node.HCA.RemoteExposedBytes())
+		}
+	})
+	sim.Run()
+}
+
+func TestCacheAccessMismatchReRegisters(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	sim.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: Cache})
+		c := m.Get(p, 4096, ibsim.AccessLocalWrite)
+		m.Put(p, c)
+		c2 := m.Get(p, 4096, ibsim.AccessLocalWrite|ibsim.AccessRemoteRead)
+		if m.Stats().CacheMisses != 2 {
+			t.Errorf("misses = %d, want 2 (access mismatch must not hit)", m.Stats().CacheMisses)
+		}
+		m.Put(p, c2)
+	})
+	sim.Run()
+}
+
+func TestExternalRegistrationModes(t *testing.T) {
+	for _, mode := range []Mode{Regular, FMR, AllPhysical, Cache} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			sim := des.New()
+			node := costNode(sim)
+			sim.Spawn("op", func(p *des.Proc) {
+				m := NewManager(p, node, Config{Mode: mode})
+				user := node.Mem.Alloc(256 << 10)
+				r := m.RegisterExternal(p, user, 4096, 128<<10, ibsim.AccessRemoteWrite)
+				total := 0
+				for _, s := range r.Segments() {
+					total += s.Len
+				}
+				if total != 128<<10 {
+					t.Errorf("segments cover %d, want %d", total, 128<<10)
+				}
+				m.DeregisterExternal(p, r)
+			})
+			sim.Run()
+		})
+	}
+}
+
+func TestSizeClassProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		size := int(n) + 1
+		c := sizeClass(size)
+		return c >= size && c >= 4096 && (c&(c-1)) == 0 && (c == 4096 || c/2 < size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCacheAlwaysCoversRequest(t *testing.T) {
+	sim := des.New()
+	node := costNode(sim)
+	sim.Spawn("op", func(p *des.Proc) {
+		m := NewManager(p, node, Config{Mode: Cache, CacheMaxBytes: 1 << 20})
+		rng := des.NewRand(99)
+		for i := 0; i < 300; i++ {
+			size := 1 + rng.Intn(512<<10)
+			c := m.Get(p, size, ibsim.AccessLocalWrite)
+			if c.Buf.Size < size {
+				t.Errorf("buffer %d < requested %d", c.Buf.Size, size)
+			}
+			if !c.Reg.mr.Valid() {
+				t.Error("cache returned invalid registration")
+			}
+			m.Put(p, c)
+		}
+	})
+	sim.Run()
+}

@@ -1,0 +1,1036 @@
+package nfs3
+
+import (
+	"repro/internal/xdr"
+)
+
+// This file defines the argument and result messages of every NFSv3
+// procedure with symmetric Encode/Decode, shared by the client stubs and
+// the server dispatcher so the two sides cannot drift.
+//
+// READ results and WRITE arguments deliberately exclude the data payload:
+// it travels through the transport's direct-data-placement path (RDMA
+// chunks, or appended inline by the stream transport), exactly like the
+// page-list part of the kernel xdr_buf.
+
+// GetAttrArgs is GETATTR3args.
+type GetAttrArgs struct{ FH FH }
+
+// Encode marshals the args.
+func (a *GetAttrArgs) Encode(e *xdr.Encoder) { a.FH.Encode(e) }
+
+// DecodeGetAttrArgs unmarshals GETATTR3args.
+func DecodeGetAttrArgs(d *xdr.Decoder) (GetAttrArgs, error) {
+	fh, err := DecodeFH(d)
+	return GetAttrArgs{FH: fh}, err
+}
+
+// GetAttrRes is GETATTR3res.
+type GetAttrRes struct {
+	Status Status
+	Attr   FAttr
+}
+
+// Encode marshals the result.
+func (r *GetAttrRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Attr.Encode(e)
+	}
+}
+
+// DecodeGetAttrRes unmarshals GETATTR3res.
+func DecodeGetAttrRes(d *xdr.Decoder) (GetAttrRes, error) {
+	var r GetAttrRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Status == OK {
+		r.Attr, err = DecodeFAttr(d)
+	}
+	return r, err
+}
+
+// SetAttrArgs is SETATTR3args. Guard, when non-nil, is the sattrguard3
+// ctime: the server applies the change only if the object's current ctime
+// matches, else NFS3ERR_NOT_SYNC (the optimistic-concurrency check real
+// clients use to serialize attribute updates).
+type SetAttrArgs struct {
+	FH    FH
+	Attr  SAttr
+	Guard *NFSTime
+}
+
+// Encode marshals the args.
+func (a *SetAttrArgs) Encode(e *xdr.Encoder) {
+	a.FH.Encode(e)
+	a.Attr.Encode(e)
+	e.Bool(a.Guard != nil)
+	if a.Guard != nil {
+		a.Guard.encode(e)
+	}
+}
+
+// DecodeSetAttrArgs unmarshals SETATTR3args.
+func DecodeSetAttrArgs(d *xdr.Decoder) (SetAttrArgs, error) {
+	var a SetAttrArgs
+	var err error
+	if a.FH, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	if a.Attr, err = DecodeSAttr(d); err != nil {
+		return a, err
+	}
+	guard, err := d.Bool()
+	if err != nil {
+		return a, err
+	}
+	if guard {
+		t, err := decodeTime(d)
+		if err != nil {
+			return a, err
+		}
+		a.Guard = &t
+	}
+	return a, nil
+}
+
+// WccRes is the common "status + wcc_data" result shape (SETATTR, REMOVE,
+// RMDIR).
+type WccRes struct {
+	Status Status
+	Wcc    WccData
+}
+
+// Encode marshals the result.
+func (r *WccRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Wcc.Encode(e)
+}
+
+// DecodeWccRes unmarshals a status + wcc_data result.
+func DecodeWccRes(d *xdr.Decoder) (WccRes, error) {
+	var r WccRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	r.Wcc, err = DecodeWccData(d)
+	return r, err
+}
+
+// DirOpArgs is diropargs3 (LOOKUP, REMOVE, RMDIR and friends).
+type DirOpArgs struct {
+	Dir  FH
+	Name string
+}
+
+// Encode marshals the args.
+func (a *DirOpArgs) Encode(e *xdr.Encoder) {
+	a.Dir.Encode(e)
+	e.String(a.Name)
+}
+
+// DecodeDirOpArgs unmarshals diropargs3.
+func DecodeDirOpArgs(d *xdr.Decoder) (DirOpArgs, error) {
+	var a DirOpArgs
+	var err error
+	if a.Dir, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	a.Name, err = d.String()
+	return a, err
+}
+
+// LookupRes is LOOKUP3res.
+type LookupRes struct {
+	Status  Status
+	Object  FH
+	ObjAttr PostOpAttr
+	DirAttr PostOpAttr
+}
+
+// Encode marshals the result.
+func (r *LookupRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Object.Encode(e)
+		r.ObjAttr.Encode(e)
+	}
+	r.DirAttr.Encode(e)
+}
+
+// DecodeLookupRes unmarshals LOOKUP3res.
+func DecodeLookupRes(d *xdr.Decoder) (LookupRes, error) {
+	var r LookupRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Status == OK {
+		if r.Object, err = DecodeFH(d); err != nil {
+			return r, err
+		}
+		if r.ObjAttr, err = DecodePostOpAttr(d); err != nil {
+			return r, err
+		}
+	}
+	r.DirAttr, err = DecodePostOpAttr(d)
+	return r, err
+}
+
+// AccessArgs is ACCESS3args.
+type AccessArgs struct {
+	FH     FH
+	Access uint32
+}
+
+// Encode marshals the args.
+func (a *AccessArgs) Encode(e *xdr.Encoder) {
+	a.FH.Encode(e)
+	e.Uint32(a.Access)
+}
+
+// DecodeAccessArgs unmarshals ACCESS3args.
+func DecodeAccessArgs(d *xdr.Decoder) (AccessArgs, error) {
+	var a AccessArgs
+	var err error
+	if a.FH, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	a.Access, err = d.Uint32()
+	return a, err
+}
+
+// AccessRes is ACCESS3res.
+type AccessRes struct {
+	Status Status
+	Attr   PostOpAttr
+	Access uint32
+}
+
+// Encode marshals the result.
+func (r *AccessRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.Encode(e)
+	if r.Status == OK {
+		e.Uint32(r.Access)
+	}
+}
+
+// DecodeAccessRes unmarshals ACCESS3res.
+func DecodeAccessRes(d *xdr.Decoder) (AccessRes, error) {
+	var r AccessRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Attr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	if r.Status == OK {
+		r.Access, err = d.Uint32()
+	}
+	return r, err
+}
+
+// ReadLinkRes is READLINK3res.
+type ReadLinkRes struct {
+	Status Status
+	Attr   PostOpAttr
+	Path   string
+}
+
+// Encode marshals the result.
+func (r *ReadLinkRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.Encode(e)
+	if r.Status == OK {
+		e.String(r.Path)
+	}
+}
+
+// DecodeReadLinkRes unmarshals READLINK3res.
+func DecodeReadLinkRes(d *xdr.Decoder) (ReadLinkRes, error) {
+	var r ReadLinkRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Attr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	if r.Status == OK {
+		r.Path, err = d.String()
+	}
+	return r, err
+}
+
+// ReadArgs is READ3args.
+type ReadArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+}
+
+// Encode marshals the args.
+func (a *ReadArgs) Encode(e *xdr.Encoder) {
+	a.FH.Encode(e)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+}
+
+// DecodeReadArgs unmarshals READ3args.
+func DecodeReadArgs(d *xdr.Decoder) (ReadArgs, error) {
+	var a ReadArgs
+	var err error
+	if a.FH, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	if a.Offset, err = d.Uint64(); err != nil {
+		return a, err
+	}
+	a.Count, err = d.Uint32()
+	return a, err
+}
+
+// ReadRes is READ3res with the data payload carried out of band.
+type ReadRes struct {
+	Status Status
+	Attr   PostOpAttr
+	Count  uint32
+	EOF    bool
+}
+
+// Encode marshals the result.
+func (r *ReadRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.Encode(e)
+	if r.Status == OK {
+		e.Uint32(r.Count)
+		e.Bool(r.EOF)
+		e.Uint32(r.Count) // data<> length; bytes travel via placement
+	}
+}
+
+// DecodeReadRes unmarshals READ3res.
+func DecodeReadRes(d *xdr.Decoder) (ReadRes, error) {
+	var r ReadRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Attr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	if r.Status == OK {
+		if r.Count, err = d.Uint32(); err != nil {
+			return r, err
+		}
+		if r.EOF, err = d.Bool(); err != nil {
+			return r, err
+		}
+		if _, err = d.Uint32(); err != nil { // data<> length
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// WriteArgs is WRITE3args with the data payload carried out of band.
+type WriteArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+	Stable uint32
+}
+
+// Encode marshals the args.
+func (a *WriteArgs) Encode(e *xdr.Encoder) {
+	a.FH.Encode(e)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+	e.Uint32(a.Stable)
+	e.Uint32(a.Count) // data<> length; bytes travel via placement
+}
+
+// DecodeWriteArgs unmarshals WRITE3args.
+func DecodeWriteArgs(d *xdr.Decoder) (WriteArgs, error) {
+	var a WriteArgs
+	var err error
+	if a.FH, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	if a.Offset, err = d.Uint64(); err != nil {
+		return a, err
+	}
+	if a.Count, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	if a.Stable, err = d.Uint32(); err != nil {
+		return a, err
+	}
+	_, err = d.Uint32() // data<> length
+	return a, err
+}
+
+// WriteRes is WRITE3res.
+type WriteRes struct {
+	Status    Status
+	Wcc       WccData
+	Count     uint32
+	Committed uint32
+	Verf      uint64
+}
+
+// Encode marshals the result.
+func (r *WriteRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Wcc.Encode(e)
+	if r.Status == OK {
+		e.Uint32(r.Count)
+		e.Uint32(r.Committed)
+		e.Uint64(r.Verf)
+	}
+}
+
+// DecodeWriteRes unmarshals WRITE3res.
+func DecodeWriteRes(d *xdr.Decoder) (WriteRes, error) {
+	var r WriteRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Wcc, err = DecodeWccData(d); err != nil {
+		return r, err
+	}
+	if r.Status == OK {
+		if r.Count, err = d.Uint32(); err != nil {
+			return r, err
+		}
+		if r.Committed, err = d.Uint32(); err != nil {
+			return r, err
+		}
+		if r.Verf, err = d.Uint64(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// CreateArgs is CREATE3args / MKDIR3args (mode UNCHECKED).
+type CreateArgs struct {
+	Where DirOpArgs
+	Attr  SAttr
+}
+
+// Encode marshals the args.
+func (a *CreateArgs) Encode(e *xdr.Encoder) {
+	a.Where.Encode(e)
+	e.Uint32(0) // createmode3 UNCHECKED
+	a.Attr.Encode(e)
+}
+
+// DecodeCreateArgs unmarshals CREATE3args.
+func DecodeCreateArgs(d *xdr.Decoder) (CreateArgs, error) {
+	var a CreateArgs
+	var err error
+	if a.Where, err = DecodeDirOpArgs(d); err != nil {
+		return a, err
+	}
+	if _, err = d.Uint32(); err != nil { // createmode3
+		return a, err
+	}
+	a.Attr, err = DecodeSAttr(d)
+	return a, err
+}
+
+// MkdirArgs is MKDIR3args (same shape minus createmode).
+type MkdirArgs struct {
+	Where DirOpArgs
+	Attr  SAttr
+}
+
+// Encode marshals the args.
+func (a *MkdirArgs) Encode(e *xdr.Encoder) {
+	a.Where.Encode(e)
+	a.Attr.Encode(e)
+}
+
+// DecodeMkdirArgs unmarshals MKDIR3args.
+func DecodeMkdirArgs(d *xdr.Decoder) (MkdirArgs, error) {
+	var a MkdirArgs
+	var err error
+	if a.Where, err = DecodeDirOpArgs(d); err != nil {
+		return a, err
+	}
+	a.Attr, err = DecodeSAttr(d)
+	return a, err
+}
+
+// SymlinkArgs is SYMLINK3args.
+type SymlinkArgs struct {
+	Where  DirOpArgs
+	Attr   SAttr
+	Target string
+}
+
+// Encode marshals the args.
+func (a *SymlinkArgs) Encode(e *xdr.Encoder) {
+	a.Where.Encode(e)
+	a.Attr.Encode(e)
+	e.String(a.Target)
+}
+
+// DecodeSymlinkArgs unmarshals SYMLINK3args.
+func DecodeSymlinkArgs(d *xdr.Decoder) (SymlinkArgs, error) {
+	var a SymlinkArgs
+	var err error
+	if a.Where, err = DecodeDirOpArgs(d); err != nil {
+		return a, err
+	}
+	if a.Attr, err = DecodeSAttr(d); err != nil {
+		return a, err
+	}
+	a.Target, err = d.String()
+	return a, err
+}
+
+// CreateRes is CREATE3res / MKDIR3res / SYMLINK3res.
+type CreateRes struct {
+	Status    Status
+	FHPresent bool
+	FH        FH
+	Attr      PostOpAttr
+	DirWcc    WccData
+}
+
+// Encode marshals the result.
+func (r *CreateRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		e.Bool(r.FHPresent)
+		if r.FHPresent {
+			r.FH.Encode(e)
+		}
+		r.Attr.Encode(e)
+	}
+	r.DirWcc.Encode(e)
+}
+
+// DecodeCreateRes unmarshals CREATE3res.
+func DecodeCreateRes(d *xdr.Decoder) (CreateRes, error) {
+	var r CreateRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Status == OK {
+		if r.FHPresent, err = d.Bool(); err != nil {
+			return r, err
+		}
+		if r.FHPresent {
+			if r.FH, err = DecodeFH(d); err != nil {
+				return r, err
+			}
+		}
+		if r.Attr, err = DecodePostOpAttr(d); err != nil {
+			return r, err
+		}
+	}
+	r.DirWcc, err = DecodeWccData(d)
+	return r, err
+}
+
+// RenameArgs is RENAME3args.
+type RenameArgs struct {
+	From DirOpArgs
+	To   DirOpArgs
+}
+
+// Encode marshals the args.
+func (a *RenameArgs) Encode(e *xdr.Encoder) {
+	a.From.Encode(e)
+	a.To.Encode(e)
+}
+
+// DecodeRenameArgs unmarshals RENAME3args.
+func DecodeRenameArgs(d *xdr.Decoder) (RenameArgs, error) {
+	var a RenameArgs
+	var err error
+	if a.From, err = DecodeDirOpArgs(d); err != nil {
+		return a, err
+	}
+	a.To, err = DecodeDirOpArgs(d)
+	return a, err
+}
+
+// RenameRes is RENAME3res.
+type RenameRes struct {
+	Status  Status
+	FromWcc WccData
+	ToWcc   WccData
+}
+
+// Encode marshals the result.
+func (r *RenameRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.FromWcc.Encode(e)
+	r.ToWcc.Encode(e)
+}
+
+// DecodeRenameRes unmarshals RENAME3res.
+func DecodeRenameRes(d *xdr.Decoder) (RenameRes, error) {
+	var r RenameRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.FromWcc, err = DecodeWccData(d); err != nil {
+		return r, err
+	}
+	r.ToWcc, err = DecodeWccData(d)
+	return r, err
+}
+
+// LinkArgs is LINK3args.
+type LinkArgs struct {
+	FH   FH
+	Link DirOpArgs
+}
+
+// Encode marshals the args.
+func (a *LinkArgs) Encode(e *xdr.Encoder) {
+	a.FH.Encode(e)
+	a.Link.Encode(e)
+}
+
+// DecodeLinkArgs unmarshals LINK3args.
+func DecodeLinkArgs(d *xdr.Decoder) (LinkArgs, error) {
+	var a LinkArgs
+	var err error
+	if a.FH, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	a.Link, err = DecodeDirOpArgs(d)
+	return a, err
+}
+
+// LinkRes is LINK3res.
+type LinkRes struct {
+	Status  Status
+	Attr    PostOpAttr
+	LinkWcc WccData
+}
+
+// Encode marshals the result.
+func (r *LinkRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.Encode(e)
+	r.LinkWcc.Encode(e)
+}
+
+// DecodeLinkRes unmarshals LINK3res.
+func DecodeLinkRes(d *xdr.Decoder) (LinkRes, error) {
+	var r LinkRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Attr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	r.LinkWcc, err = DecodeWccData(d)
+	return r, err
+}
+
+// ReadDirArgs is READDIR3args / READDIRPLUS3args (maxcount collapsed).
+type ReadDirArgs struct {
+	Dir        FH
+	Cookie     uint64
+	CookieVerf uint64
+	Count      uint32
+	Plus       bool // READDIRPLUS
+}
+
+// Encode marshals the args.
+func (a *ReadDirArgs) Encode(e *xdr.Encoder) {
+	a.Dir.Encode(e)
+	e.Uint64(a.Cookie)
+	e.Uint64(a.CookieVerf)
+	if a.Plus {
+		e.Uint32(a.Count) // dircount
+	}
+	e.Uint32(a.Count) // (max)count
+}
+
+// DecodeReadDirArgs unmarshals READDIR3args.
+func DecodeReadDirArgs(d *xdr.Decoder, plus bool) (ReadDirArgs, error) {
+	a := ReadDirArgs{Plus: plus}
+	var err error
+	if a.Dir, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	if a.Cookie, err = d.Uint64(); err != nil {
+		return a, err
+	}
+	if a.CookieVerf, err = d.Uint64(); err != nil {
+		return a, err
+	}
+	if plus {
+		if _, err = d.Uint32(); err != nil { // dircount
+			return a, err
+		}
+	}
+	a.Count, err = d.Uint32()
+	return a, err
+}
+
+// DirEntry3 is one READDIR(PLUS) entry.
+type DirEntry3 struct {
+	FileID uint64
+	Name   string
+	Cookie uint64
+	// READDIRPLUS extras.
+	Attr      PostOpAttr
+	FHPresent bool
+	FH        FH
+}
+
+// ReadDirRes is READDIR3res / READDIRPLUS3res.
+type ReadDirRes struct {
+	Status     Status
+	DirAttr    PostOpAttr
+	CookieVerf uint64
+	Entries    []DirEntry3
+	EOF        bool
+	Plus       bool
+}
+
+// Encode marshals the result.
+func (r *ReadDirRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.DirAttr.Encode(e)
+	if r.Status != OK {
+		return
+	}
+	e.Uint64(r.CookieVerf)
+	for i := range r.Entries {
+		ent := &r.Entries[i]
+		e.Bool(true)
+		e.Uint64(ent.FileID)
+		e.String(ent.Name)
+		e.Uint64(ent.Cookie)
+		if r.Plus {
+			ent.Attr.Encode(e)
+			e.Bool(ent.FHPresent)
+			if ent.FHPresent {
+				ent.FH.Encode(e)
+			}
+		}
+	}
+	e.Bool(false) // end of list
+	e.Bool(r.EOF)
+}
+
+// DecodeReadDirRes unmarshals READDIR3res.
+func DecodeReadDirRes(d *xdr.Decoder, plus bool) (ReadDirRes, error) {
+	r := ReadDirRes{Plus: plus}
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.DirAttr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	if r.Status != OK {
+		return r, nil
+	}
+	if r.CookieVerf, err = d.Uint64(); err != nil {
+		return r, err
+	}
+	for {
+		more, err := d.Bool()
+		if err != nil {
+			return r, err
+		}
+		if !more {
+			break
+		}
+		var ent DirEntry3
+		if ent.FileID, err = d.Uint64(); err != nil {
+			return r, err
+		}
+		if ent.Name, err = d.String(); err != nil {
+			return r, err
+		}
+		if ent.Cookie, err = d.Uint64(); err != nil {
+			return r, err
+		}
+		if plus {
+			if ent.Attr, err = DecodePostOpAttr(d); err != nil {
+				return r, err
+			}
+			if ent.FHPresent, err = d.Bool(); err != nil {
+				return r, err
+			}
+			if ent.FHPresent {
+				if ent.FH, err = DecodeFH(d); err != nil {
+					return r, err
+				}
+			}
+		}
+		r.Entries = append(r.Entries, ent)
+	}
+	r.EOF, err = d.Bool()
+	return r, err
+}
+
+// FSStatRes is FSSTAT3res.
+type FSStatRes struct {
+	Status Status
+	Attr   PostOpAttr
+	TBytes uint64
+	FBytes uint64
+	ABytes uint64
+	TFiles uint64
+	FFiles uint64
+	AFiles uint64
+}
+
+// Encode marshals the result.
+func (r *FSStatRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.Encode(e)
+	if r.Status == OK {
+		e.Uint64(r.TBytes)
+		e.Uint64(r.FBytes)
+		e.Uint64(r.ABytes)
+		e.Uint64(r.TFiles)
+		e.Uint64(r.FFiles)
+		e.Uint64(r.AFiles)
+		e.Uint32(0) // invarsec
+	}
+}
+
+// DecodeFSStatRes unmarshals FSSTAT3res.
+func DecodeFSStatRes(d *xdr.Decoder) (FSStatRes, error) {
+	var r FSStatRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Attr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	if r.Status != OK {
+		return r, nil
+	}
+	vals := []*uint64{&r.TBytes, &r.FBytes, &r.ABytes, &r.TFiles, &r.FFiles, &r.AFiles}
+	for _, v := range vals {
+		if *v, err = d.Uint64(); err != nil {
+			return r, err
+		}
+	}
+	_, err = d.Uint32() // invarsec
+	return r, err
+}
+
+// FSInfoRes is FSINFO3res.
+type FSInfoRes struct {
+	Status      Status
+	Attr        PostOpAttr
+	RTMax       uint32
+	RTPref      uint32
+	WTMax       uint32
+	WTPref      uint32
+	DTPref      uint32
+	MaxFileSize uint64
+}
+
+// Encode marshals the result.
+func (r *FSInfoRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.Encode(e)
+	if r.Status == OK {
+		e.Uint32(r.RTMax)
+		e.Uint32(r.RTPref)
+		e.Uint32(1) // rtmult
+		e.Uint32(r.WTMax)
+		e.Uint32(r.WTPref)
+		e.Uint32(1) // wtmult
+		e.Uint32(r.DTPref)
+		e.Uint64(r.MaxFileSize)
+		NFSTime{Sec: 0, NSec: 1}.encode(e) // time_delta
+		e.Uint32(0x1b)                     // properties: LINK|SYMLINK|HOMOGENEOUS|CANSETTIME
+	}
+}
+
+// DecodeFSInfoRes unmarshals FSINFO3res.
+func DecodeFSInfoRes(d *xdr.Decoder) (FSInfoRes, error) {
+	var r FSInfoRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Attr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	if r.Status != OK {
+		return r, nil
+	}
+	if r.RTMax, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if r.RTPref, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if _, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if r.WTMax, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if r.WTPref, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if _, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if r.DTPref, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if r.MaxFileSize, err = d.Uint64(); err != nil {
+		return r, err
+	}
+	if _, err = decodeTime(d); err != nil {
+		return r, err
+	}
+	_, err = d.Uint32()
+	return r, err
+}
+
+// PathConfRes is PATHCONF3res.
+type PathConfRes struct {
+	Status  Status
+	Attr    PostOpAttr
+	LinkMax uint32
+	NameMax uint32
+}
+
+// Encode marshals the result.
+func (r *PathConfRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Attr.Encode(e)
+	if r.Status == OK {
+		e.Uint32(r.LinkMax)
+		e.Uint32(r.NameMax)
+		e.Bool(true)  // no_trunc
+		e.Bool(false) // chown_restricted
+		e.Bool(false) // case_insensitive
+		e.Bool(true)  // case_preserving
+	}
+}
+
+// DecodePathConfRes unmarshals PATHCONF3res.
+func DecodePathConfRes(d *xdr.Decoder) (PathConfRes, error) {
+	var r PathConfRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Attr, err = DecodePostOpAttr(d); err != nil {
+		return r, err
+	}
+	if r.Status != OK {
+		return r, nil
+	}
+	if r.LinkMax, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	if r.NameMax, err = d.Uint32(); err != nil {
+		return r, err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err = d.Bool(); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// CommitArgs is COMMIT3args.
+type CommitArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+}
+
+// Encode marshals the args.
+func (a *CommitArgs) Encode(e *xdr.Encoder) {
+	a.FH.Encode(e)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+}
+
+// DecodeCommitArgs unmarshals COMMIT3args.
+func DecodeCommitArgs(d *xdr.Decoder) (CommitArgs, error) {
+	var a CommitArgs
+	var err error
+	if a.FH, err = DecodeFH(d); err != nil {
+		return a, err
+	}
+	if a.Offset, err = d.Uint64(); err != nil {
+		return a, err
+	}
+	a.Count, err = d.Uint32()
+	return a, err
+}
+
+// CommitRes is COMMIT3res.
+type CommitRes struct {
+	Status Status
+	Wcc    WccData
+	Verf   uint64
+}
+
+// Encode marshals the result.
+func (r *CommitRes) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(r.Status))
+	r.Wcc.Encode(e)
+	if r.Status == OK {
+		e.Uint64(r.Verf)
+	}
+}
+
+// DecodeCommitRes unmarshals COMMIT3res.
+func DecodeCommitRes(d *xdr.Decoder) (CommitRes, error) {
+	var r CommitRes
+	st, err := d.Uint32()
+	if err != nil {
+		return r, err
+	}
+	r.Status = Status(st)
+	if r.Wcc, err = DecodeWccData(d); err != nil {
+		return r, err
+	}
+	if r.Status == OK {
+		r.Verf, err = d.Uint64()
+	}
+	return r, err
+}

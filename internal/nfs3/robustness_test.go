@@ -1,0 +1,136 @@
+package nfs3
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/oncrpc"
+	"repro/internal/xdr"
+)
+
+// Robustness: every decoder must return an error — never panic, never
+// fabricate values — for arbitrarily truncated input, and the server must
+// answer garbage argument bytes with a protocol-level error status.
+
+func TestDecodersSurviveTruncation(t *testing.T) {
+	// Build one valid encoding of each message, then decode every prefix.
+	type enc struct {
+		name  string
+		bytes []byte
+		dec   func([]byte) error
+	}
+	fh := FH{FSID: 1, FileID: 2}
+	encode := func(fn func(e *xdr.Encoder)) []byte {
+		e := xdr.NewEncoder(nil)
+		fn(e)
+		return e.Bytes()
+	}
+	mode := uint32(0644)
+	size := uint64(100)
+	msgs := []enc{
+		{"GetAttrArgs", encode(func(e *xdr.Encoder) { (&GetAttrArgs{FH: fh}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeGetAttrArgs(xdr.NewDecoder(b)); return err }},
+		{"SetAttrArgs", encode(func(e *xdr.Encoder) {
+			(&SetAttrArgs{FH: fh, Attr: SAttr{Mode: &mode, Size: &size, SetMtime: true}}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeSetAttrArgs(xdr.NewDecoder(b)); return err }},
+		{"DirOpArgs", encode(func(e *xdr.Encoder) { (&DirOpArgs{Dir: fh, Name: "file"}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeDirOpArgs(xdr.NewDecoder(b)); return err }},
+		{"AccessArgs", encode(func(e *xdr.Encoder) { (&AccessArgs{FH: fh, Access: 7}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeAccessArgs(xdr.NewDecoder(b)); return err }},
+		{"ReadArgs", encode(func(e *xdr.Encoder) { (&ReadArgs{FH: fh, Offset: 1, Count: 2}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeReadArgs(xdr.NewDecoder(b)); return err }},
+		{"WriteArgs", encode(func(e *xdr.Encoder) { (&WriteArgs{FH: fh, Offset: 1, Count: 2}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeWriteArgs(xdr.NewDecoder(b)); return err }},
+		{"CreateArgs", encode(func(e *xdr.Encoder) {
+			(&CreateArgs{Where: DirOpArgs{Dir: fh, Name: "x"}, Attr: SAttr{Mode: &mode}}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeCreateArgs(xdr.NewDecoder(b)); return err }},
+		{"RenameArgs", encode(func(e *xdr.Encoder) {
+			(&RenameArgs{From: DirOpArgs{Dir: fh, Name: "a"}, To: DirOpArgs{Dir: fh, Name: "b"}}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeRenameArgs(xdr.NewDecoder(b)); return err }},
+		{"LinkArgs", encode(func(e *xdr.Encoder) {
+			(&LinkArgs{FH: fh, Link: DirOpArgs{Dir: fh, Name: "l"}}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeLinkArgs(xdr.NewDecoder(b)); return err }},
+		{"ReadDirArgs", encode(func(e *xdr.Encoder) {
+			(&ReadDirArgs{Dir: fh, Cookie: 3, Count: 512}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeReadDirArgs(xdr.NewDecoder(b), false); return err }},
+		{"CommitArgs", encode(func(e *xdr.Encoder) { (&CommitArgs{FH: fh, Offset: 9, Count: 8}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeCommitArgs(xdr.NewDecoder(b)); return err }},
+		{"GetAttrRes", encode(func(e *xdr.Encoder) {
+			(&GetAttrRes{Status: OK, Attr: FAttr{Type: TypeReg}}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeGetAttrRes(xdr.NewDecoder(b)); return err }},
+		{"LookupRes", encode(func(e *xdr.Encoder) {
+			(&LookupRes{Status: OK, Object: fh, ObjAttr: PostOpAttr{Present: true, Attr: FAttr{}}}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeLookupRes(xdr.NewDecoder(b)); return err }},
+		{"WriteRes", encode(func(e *xdr.Encoder) {
+			(&WriteRes{Status: OK, Count: 1, Verf: 2, Wcc: WccData{PrePresent: true}}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeWriteRes(xdr.NewDecoder(b)); return err }},
+		{"ReadDirRes", encode(func(e *xdr.Encoder) {
+			(&ReadDirRes{Status: OK, Entries: []DirEntry3{{FileID: 1, Name: "n", Cookie: 1}}, EOF: true}).Encode(e)
+		}),
+			func(b []byte) error { _, err := DecodeReadDirRes(xdr.NewDecoder(b), false); return err }},
+		{"FSStatRes", encode(func(e *xdr.Encoder) { (&FSStatRes{Status: OK, TBytes: 1}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeFSStatRes(xdr.NewDecoder(b)); return err }},
+		{"FSInfoRes", encode(func(e *xdr.Encoder) { (&FSInfoRes{Status: OK, RTMax: 1}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeFSInfoRes(xdr.NewDecoder(b)); return err }},
+		{"PathConfRes", encode(func(e *xdr.Encoder) { (&PathConfRes{Status: OK, LinkMax: 1}).Encode(e) }),
+			func(b []byte) error { _, err := DecodePathConfRes(xdr.NewDecoder(b)); return err }},
+		{"CommitRes", encode(func(e *xdr.Encoder) { (&CommitRes{Status: OK, Verf: 7}).Encode(e) }),
+			func(b []byte) error { _, err := DecodeCommitRes(xdr.NewDecoder(b)); return err }},
+	}
+	for _, m := range msgs {
+		// The full message must decode cleanly...
+		if err := m.dec(m.bytes); err != nil {
+			t.Errorf("%s: full decode failed: %v", m.name, err)
+			continue
+		}
+		// ...and every strict prefix must error without panicking.
+		for cut := 0; cut < len(m.bytes); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic at prefix %d: %v", m.name, cut, r)
+					}
+				}()
+				if err := m.dec(m.bytes[:cut]); err == nil && cut < len(m.bytes)-3 {
+					// Trailing-padding prefixes may still decode; anything
+					// shorter must not.
+					t.Errorf("%s: prefix %d/%d decoded without error", m.name, cut, len(m.bytes))
+				}
+			}()
+		}
+	}
+}
+
+func TestServerRejectsGarbageArgs(t *testing.T) {
+	sim, _, srv := newPair(t)
+	sim.Spawn("g", func(p *des.Proc) {
+		garbage := []byte{0xde, 0xad}
+		for proc := uint32(1); proc <= ProcCommit; proc++ {
+			resp := srv.Handle(p, &oncrpc.ServerRequest{
+				Header: &oncrpc.CallHeader{Proc: proc},
+				Args:   garbage,
+			})
+			if resp.Stat != oncrpc.Success {
+				continue // RPC-level rejection is also acceptable
+			}
+			d := xdr.NewDecoder(resp.Results)
+			st, err := d.Uint32()
+			if err != nil {
+				t.Errorf("proc %s: unreadable status", ProcName(proc))
+				continue
+			}
+			if Status(st) == OK {
+				t.Errorf("proc %s accepted garbage args", ProcName(proc))
+			}
+		}
+	})
+	sim.Run()
+}

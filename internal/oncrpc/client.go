@@ -1,0 +1,73 @@
+package oncrpc
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Client issues calls for one (program, version) over a Transport.
+type Client struct {
+	prog, vers uint32
+	cred       Auth
+	transport  Transport
+	nextXID    uint32
+}
+
+// NewClient creates a client. The initial XID is randomized in real stacks
+// to survive server reboots; the simulator seeds it from the program number
+// for determinism.
+func NewClient(transport Transport, prog, vers uint32, cred Auth) *Client {
+	return &Client{prog: prog, vers: vers, cred: cred, transport: transport, nextXID: prog<<8 + vers}
+}
+
+// CallOpts carries the bulk-data descriptors for one call.
+type CallOpts struct {
+	SendBulk     *Bulk
+	RecvBulk     *Bulk
+	LongReplyCap int
+	DirectIO     bool
+}
+
+// Call marshals and performs one RPC. It returns the inline result bytes
+// and the number of payload bytes placed into opts.RecvBulk.
+func (c *Client) Call(p *des.Proc, proc uint32, args []byte, opts CallOpts) (results []byte, bulkLen int, err error) {
+	c.nextXID++
+	xid := c.nextXID
+	hdr := &CallHeader{
+		XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc,
+		Cred: c.cred, Verf: Auth{Flavor: AuthNone},
+	}
+	req := &Request{
+		XID:          xid,
+		Header:       EncodeCall(hdr, args),
+		SendBulk:     opts.SendBulk,
+		RecvBulk:     opts.RecvBulk,
+		LongReplyCap: opts.LongReplyCap,
+		DirectIO:     opts.DirectIO,
+	}
+	resp, err := c.transport.Roundtrip(p, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	gotXID, stat, results, err := DecodeReply(resp.Header)
+	if err != nil {
+		return nil, 0, err
+	}
+	if gotXID != xid {
+		return nil, 0, fmt.Errorf("%w: got %#x want %#x", ErrXIDMismatch, gotXID, xid)
+	}
+	if stat != Success {
+		return nil, 0, fmt.Errorf("oncrpc: call rejected: %v", stat)
+	}
+	return results, resp.BulkLen, nil
+}
+
+// Close shuts down the underlying transport.
+func (c *Client) Close() { c.transport.Close() }
+
+// SetTransport swaps the transport under the client, preserving the XID
+// counter and credentials — the reconnect path. XID continuity matters:
+// restarting XIDs after a reconnect would collide with the server's
+// duplicate request cache and replay stale replies.
+func (c *Client) SetTransport(t Transport) { c.transport = t }

@@ -1,0 +1,77 @@
+package oncrpc
+
+// The duplicate request cache (DRC) every production NFS server carries:
+// retransmitted calls (same XID from the same client) must not re-execute
+// non-idempotent procedures — a replayed REMOVE would return ENOENT, a
+// replayed WRITE could clobber newer data. The server replays the cached
+// reply instead.
+//
+// The simulated RC transport never retransmits on its own, but the DRC is
+// part of the server's contract (and a real concern for the RPC/RDMA
+// transport too, where a reconnecting client retries in-flight calls), so
+// it is implemented and tested at the dispatch layer.
+
+// drcKey identifies a request for replay detection. Real servers also hash
+// the client address; the simulator's dispatcher is per-transport-server,
+// and the Machine credential stands in for the address.
+type drcKey struct {
+	machine string
+	xid     uint32
+	prog    uint32
+	proc    uint32
+}
+
+type drcEntry struct {
+	key   drcKey
+	reply []byte
+	bulk  *Bulk
+}
+
+// drc is a bounded FIFO replay cache.
+type drc struct {
+	capacity int
+	entries  map[drcKey]*drcEntry
+	order    []drcKey
+
+	Hits, Misses int64
+}
+
+// EnableDRC attaches a duplicate request cache of the given capacity to the
+// dispatcher. Must be called before serving.
+func (d *Dispatcher) EnableDRC(capacity int) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	d.drc = &drc{capacity: capacity, entries: make(map[drcKey]*drcEntry)}
+}
+
+// DRCStats returns (hits, misses), or zeros when no DRC is attached.
+func (d *Dispatcher) DRCStats() (hits, misses int64) {
+	if d.drc == nil {
+		return 0, 0
+	}
+	return d.drc.Hits, d.drc.Misses
+}
+
+func (c *drc) lookup(k drcKey) (*drcEntry, bool) {
+	e, ok := c.entries[k]
+	if ok {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+	return e, ok
+}
+
+func (c *drc) insert(k drcKey, reply []byte, bulk *Bulk) {
+	if _, dup := c.entries[k]; dup {
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[k] = &drcEntry{key: k, reply: reply, bulk: bulk}
+	c.order = append(c.order, k)
+}

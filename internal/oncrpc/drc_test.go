@@ -1,0 +1,94 @@
+package oncrpc
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+// countingService counts executions so replays are visible.
+type countingService struct{ calls int }
+
+func (s *countingService) Name() string    { return "count" }
+func (s *countingService) Program() uint32 { return 555 }
+func (s *countingService) Version() uint32 { return 1 }
+func (s *countingService) Handle(p *des.Proc, req *ServerRequest) *ServerResponse {
+	s.calls++
+	return &ServerResponse{Stat: Success, Results: []byte{byte(s.calls)}}
+}
+
+func TestDRCReplaysWithoutReexecution(t *testing.T) {
+	d := NewDispatcher()
+	svc := &countingService{}
+	d.Register(svc)
+	d.EnableDRC(8)
+	sim := des.New()
+	sim.Spawn("t", func(p *des.Proc) {
+		hdr := &CallHeader{XID: 99, Prog: 555, Vers: 1, Proc: 1,
+			Cred: Auth{Flavor: AuthSys, Machine: "c0"}}
+		raw := EncodeCall(hdr, nil)
+		r1, _, err := d.Dispatch(p, raw, DispatchOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Retransmit: identical bytes, must replay the SAME reply.
+		r2, _, err := d.Dispatch(p, raw, DispatchOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if svc.calls != 1 {
+			t.Errorf("service executed %d times for a retransmission", svc.calls)
+		}
+		if string(r1) != string(r2) {
+			t.Error("replayed reply differs from the original")
+		}
+		// A different XID executes normally.
+		hdr.XID = 100
+		d.Dispatch(p, EncodeCall(hdr, nil), DispatchOpts{})
+		if svc.calls != 2 {
+			t.Errorf("calls = %d", svc.calls)
+		}
+		// A different client machine with the same XID is NOT a replay.
+		hdr.Cred.Machine = "c1"
+		d.Dispatch(p, EncodeCall(hdr, nil), DispatchOpts{})
+		if svc.calls != 3 {
+			t.Errorf("cross-client xid collision replayed: calls = %d", svc.calls)
+		}
+		hits, misses := d.DRCStats()
+		if hits != 1 || misses != 3 {
+			t.Errorf("drc stats = %d/%d, want 1/3", hits, misses)
+		}
+	})
+	sim.Run()
+}
+
+func TestDRCBounded(t *testing.T) {
+	d := NewDispatcher()
+	svc := &countingService{}
+	d.Register(svc)
+	d.EnableDRC(4)
+	sim := des.New()
+	sim.Spawn("t", func(p *des.Proc) {
+		hdr := &CallHeader{Prog: 555, Vers: 1, Proc: 1, Cred: Auth{Flavor: AuthSys, Machine: "c"}}
+		for xid := uint32(1); xid <= 10; xid++ {
+			hdr.XID = xid
+			d.Dispatch(p, EncodeCall(hdr, nil), DispatchOpts{})
+		}
+		// XID 1 was evicted: re-dispatching executes again (a real server
+		// accepts this window; the cache is bounded by design).
+		hdr.XID = 1
+		before := svc.calls
+		d.Dispatch(p, EncodeCall(hdr, nil), DispatchOpts{})
+		if svc.calls != before+1 {
+			t.Error("evicted entry should re-execute")
+		}
+		// XID 10 is still cached.
+		hdr.XID = 10
+		before = svc.calls
+		d.Dispatch(p, EncodeCall(hdr, nil), DispatchOpts{})
+		if svc.calls != before {
+			t.Error("recent entry should replay")
+		}
+	})
+	sim.Run()
+}

@@ -1,0 +1,261 @@
+// Package oncrpc implements the ONC Remote Procedure Call protocol
+// (RFC 1831): call and reply message encoding, AUTH_NONE / AUTH_SYS
+// credentials, a client with XID management, and a server-side program
+// registry. Transports — the RPC/RDMA transport that is the subject of the
+// paper, and the stream transport used by the NFS/TCP baselines — plug in
+// underneath through the Transport interface.
+package oncrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xdr"
+)
+
+// RPC protocol constants (RFC 1831).
+const (
+	RPCVersion = 2
+
+	msgTypeCall  = 0
+	msgTypeReply = 1
+
+	replyStatAccepted = 0
+	replyStatDenied   = 1
+)
+
+// AcceptStat is the accepted-reply status.
+type AcceptStat uint32
+
+// Accepted-reply status values.
+const (
+	Success      AcceptStat = 0
+	ProgUnavail  AcceptStat = 1
+	ProgMismatch AcceptStat = 2
+	ProcUnavail  AcceptStat = 3
+	GarbageArgs  AcceptStat = 4
+	SystemErr    AcceptStat = 5
+)
+
+func (s AcceptStat) String() string {
+	switch s {
+	case Success:
+		return "SUCCESS"
+	case ProgUnavail:
+		return "PROG_UNAVAIL"
+	case ProgMismatch:
+		return "PROG_MISMATCH"
+	case ProcUnavail:
+		return "PROC_UNAVAIL"
+	case GarbageArgs:
+		return "GARBAGE_ARGS"
+	case SystemErr:
+		return "SYSTEM_ERR"
+	}
+	return fmt.Sprintf("accept_stat(%d)", uint32(s))
+}
+
+// Errors surfaced by the client.
+var (
+	ErrDenied      = errors.New("oncrpc: call denied")
+	ErrBadReply    = errors.New("oncrpc: malformed reply")
+	ErrXIDMismatch = errors.New("oncrpc: reply XID mismatch")
+)
+
+// AuthFlavor identifies a credential flavour.
+type AuthFlavor uint32
+
+// Credential flavours.
+const (
+	AuthNone AuthFlavor = 0
+	AuthSys  AuthFlavor = 1
+)
+
+// Auth is an RPC credential/verifier.
+type Auth struct {
+	Flavor AuthFlavor
+	// AUTH_SYS fields.
+	Machine string
+	UID     uint32
+	GID     uint32
+	GIDs    []uint32
+	Stamp   uint32
+}
+
+// encode writes the opaque_auth structure.
+func (a *Auth) encode(e *xdr.Encoder) {
+	e.Uint32(uint32(a.Flavor))
+	switch a.Flavor {
+	case AuthNone:
+		e.Uint32(0) // zero-length body
+	case AuthSys:
+		body := xdr.NewEncoder(nil)
+		body.Uint32(a.Stamp)
+		body.String(a.Machine)
+		body.Uint32(a.UID)
+		body.Uint32(a.GID)
+		body.Uint32(uint32(len(a.GIDs)))
+		for _, g := range a.GIDs {
+			body.Uint32(g)
+		}
+		e.Opaque(body.Bytes())
+	default:
+		e.Uint32(0)
+	}
+}
+
+func decodeAuth(d *xdr.Decoder) (Auth, error) {
+	var a Auth
+	f, err := d.Uint32()
+	if err != nil {
+		return a, err
+	}
+	a.Flavor = AuthFlavor(f)
+	body, err := d.Opaque()
+	if err != nil {
+		return a, err
+	}
+	if a.Flavor == AuthSys {
+		bd := xdr.NewDecoder(body)
+		if a.Stamp, err = bd.Uint32(); err != nil {
+			return a, err
+		}
+		if a.Machine, err = bd.String(); err != nil {
+			return a, err
+		}
+		if a.UID, err = bd.Uint32(); err != nil {
+			return a, err
+		}
+		if a.GID, err = bd.Uint32(); err != nil {
+			return a, err
+		}
+		n, err := bd.Uint32()
+		if err != nil {
+			return a, err
+		}
+		if n > 16 {
+			return a, fmt.Errorf("%w: %d gids", ErrBadReply, n)
+		}
+		for i := uint32(0); i < n; i++ {
+			g, err := bd.Uint32()
+			if err != nil {
+				return a, err
+			}
+			a.GIDs = append(a.GIDs, g)
+		}
+	}
+	return a, nil
+}
+
+// CallHeader is the decoded fixed part of an RPC call.
+type CallHeader struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred Auth
+	Verf Auth
+}
+
+// EncodeCall marshals an RPC call message: header followed by the
+// pre-marshaled procedure arguments.
+func EncodeCall(h *CallHeader, args []byte) []byte {
+	e := xdr.NewEncoder(make([]byte, 0, 64+len(args)))
+	e.Uint32(h.XID)
+	e.Uint32(msgTypeCall)
+	e.Uint32(RPCVersion)
+	e.Uint32(h.Prog)
+	e.Uint32(h.Vers)
+	e.Uint32(h.Proc)
+	h.Cred.encode(e)
+	h.Verf.encode(e)
+	return append(e.Bytes(), args...)
+}
+
+// DecodeCall unmarshals an RPC call message, returning the header and the
+// remaining argument bytes.
+func DecodeCall(msg []byte) (*CallHeader, []byte, error) {
+	d := xdr.NewDecoder(msg)
+	var h CallHeader
+	var err error
+	if h.XID, err = d.Uint32(); err != nil {
+		return nil, nil, err
+	}
+	mt, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if mt != msgTypeCall {
+		return nil, nil, fmt.Errorf("%w: msg type %d is not a call", ErrBadReply, mt)
+	}
+	rv, err := d.Uint32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if rv != RPCVersion {
+		return nil, nil, fmt.Errorf("%w: rpc version %d", ErrBadReply, rv)
+	}
+	if h.Prog, err = d.Uint32(); err != nil {
+		return nil, nil, err
+	}
+	if h.Vers, err = d.Uint32(); err != nil {
+		return nil, nil, err
+	}
+	if h.Proc, err = d.Uint32(); err != nil {
+		return nil, nil, err
+	}
+	if h.Cred, err = decodeAuth(d); err != nil {
+		return nil, nil, err
+	}
+	if h.Verf, err = decodeAuth(d); err != nil {
+		return nil, nil, err
+	}
+	return &h, msg[d.Offset():], nil
+}
+
+// EncodeReply marshals an accepted RPC reply with the given status and
+// pre-marshaled results.
+func EncodeReply(xid uint32, stat AcceptStat, results []byte) []byte {
+	e := xdr.NewEncoder(make([]byte, 0, 32+len(results)))
+	e.Uint32(xid)
+	e.Uint32(msgTypeReply)
+	e.Uint32(replyStatAccepted)
+	(&Auth{Flavor: AuthNone}).encode(e) // verifier
+	e.Uint32(uint32(stat))
+	return append(e.Bytes(), results...)
+}
+
+// DecodeReply unmarshals an RPC reply, returning the XID, accept status and
+// remaining result bytes.
+func DecodeReply(msg []byte) (xid uint32, stat AcceptStat, results []byte, err error) {
+	d := xdr.NewDecoder(msg)
+	if xid, err = d.Uint32(); err != nil {
+		return
+	}
+	mt, err := d.Uint32()
+	if err != nil {
+		return
+	}
+	if mt != msgTypeReply {
+		err = fmt.Errorf("%w: msg type %d is not a reply", ErrBadReply, mt)
+		return
+	}
+	rs, err := d.Uint32()
+	if err != nil {
+		return
+	}
+	if rs == replyStatDenied {
+		err = ErrDenied
+		return
+	}
+	if _, err = decodeAuth(d); err != nil {
+		return
+	}
+	st, err := d.Uint32()
+	if err != nil {
+		return
+	}
+	stat = AcceptStat(st)
+	results = msg[d.Offset():]
+	return
+}

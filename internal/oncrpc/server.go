@@ -1,0 +1,77 @@
+package oncrpc
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Dispatcher routes decoded calls to registered services and encodes
+// replies. Server transports (RPC/RDMA, stream) own the worker model and
+// call Dispatch from their worker processes.
+type Dispatcher struct {
+	services map[[2]uint32]Service
+	drc      *drc // nil unless EnableDRC was called
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{services: make(map[[2]uint32]Service)}
+}
+
+// Register adds a service; registering a duplicate (program, version)
+// panics, as that is always a wiring bug.
+func (d *Dispatcher) Register(s Service) {
+	k := [2]uint32{s.Program(), s.Version()}
+	if _, dup := d.services[k]; dup {
+		panic(fmt.Sprintf("oncrpc: duplicate service %d/%d", k[0], k[1]))
+	}
+	d.services[k] = s
+}
+
+// DispatchOpts carries the transport-side context of one call.
+type DispatchOpts struct {
+	// Bulk is pulled call payload (e.g. WRITE data).
+	Bulk *Bulk
+	// RecvBulkCap is the client's advertised reply-payload capacity.
+	RecvBulkCap int
+	// ReplyBuf is a transport-provided reply staging buffer (see
+	// ServerRequest.ReplyBuf).
+	ReplyBuf *Bulk
+}
+
+// Dispatch executes one raw call message and returns the marshaled reply
+// plus any reply payload for placement. A nil error with a non-Success
+// accept status is a protocol-level rejection encoded in the reply; a
+// non-nil error means the call could not even be parsed (the transport
+// should drop the connection).
+func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (reply []byte, bulkOut *Bulk, err error) {
+	hdr, args, err := DecodeCall(rawCall)
+	if err != nil {
+		return nil, nil, err
+	}
+	var key drcKey
+	if d.drc != nil {
+		key = drcKey{machine: hdr.Cred.Machine, xid: hdr.XID, prog: hdr.Prog, proc: hdr.Proc}
+		if e, hit := d.drc.lookup(key); hit {
+			// Retransmission: replay the cached reply without re-executing.
+			return e.reply, e.bulk, nil
+		}
+	}
+	svc, ok := d.services[[2]uint32{hdr.Prog, hdr.Vers}]
+	if !ok {
+		return EncodeReply(hdr.XID, ProgUnavail, nil), nil, nil
+	}
+	resp := svc.Handle(p, &ServerRequest{
+		Header:      hdr,
+		Args:        args,
+		Bulk:        opts.Bulk,
+		RecvBulkCap: opts.RecvBulkCap,
+		ReplyBuf:    opts.ReplyBuf,
+	})
+	reply = EncodeReply(hdr.XID, resp.Stat, resp.Results)
+	if d.drc != nil {
+		d.drc.insert(key, reply, resp.Bulk)
+	}
+	return reply, resp.Bulk, nil
+}

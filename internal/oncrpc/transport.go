@@ -1,0 +1,116 @@
+package oncrpc
+
+import (
+	"repro/internal/des"
+)
+
+// Bulk describes a large data payload that capable transports move by
+// direct data placement (RDMA chunks) instead of inline XDR, mirroring the
+// page-list portion of the kernel's xdr_buf.
+//
+// Data may be nil when the simulation runs in phantom-data mode; Len is
+// always authoritative. Handle carries a transport- or layer-specific
+// placement token (for the simulator: the *ibsim.Buffer backing the
+// payload and its offset), opaque to this package.
+type Bulk struct {
+	Data   []byte
+	Len    int
+	Handle any
+	// Offset of the payload within the backing Handle buffer.
+	Off int
+}
+
+// NewBulk builds a Bulk over materialized bytes.
+func NewBulk(data []byte) *Bulk {
+	return &Bulk{Data: data, Len: len(data)}
+}
+
+// Request is one RPC exchange as seen by a transport.
+type Request struct {
+	XID uint32
+
+	// Header is the fully marshaled RPC call (header + inline args).
+	Header []byte
+
+	// SendBulk is payload the server must obtain before executing the
+	// procedure (an NFS WRITE's data). RDMA transports advertise it as a
+	// read chunk list for the server to pull; stream transports append it
+	// inline.
+	SendBulk *Bulk
+
+	// RecvBulk, when non-nil, provides placement for the procedure's reply
+	// payload (an NFS READ's data). Len gives the capacity. RDMA transports
+	// advertise it (Read-Write design) or pull into it (Read-Read design);
+	// stream transports copy inline reply data into it.
+	RecvBulk *Bulk
+
+	// LongReplyCap, when > 0, announces that the inline reply may exceed
+	// the inline threshold (READDIR/READLINK) and gives the maximum
+	// expected size, letting RDMA transports set up a reply chunk.
+	LongReplyCap int
+
+	// DirectIO marks RecvBulk as application memory eligible for the
+	// zero-copy direct-I/O placement path (no staging copy at the client).
+	DirectIO bool
+}
+
+// Response is the transport-level result of a Request.
+type Response struct {
+	// Header is the marshaled RPC reply (header + inline results).
+	Header []byte
+
+	// BulkLen is the number of payload bytes placed into RecvBulk.
+	BulkLen int
+}
+
+// Transport performs RPC exchanges for a client.
+type Transport interface {
+	// Roundtrip sends the call and blocks until the matching reply arrives
+	// and all payload placement for it has completed.
+	Roundtrip(p *des.Proc, req *Request) (*Response, error)
+	// Close releases transport resources.
+	Close()
+}
+
+// ServerRequest is one received call as seen by the service dispatcher.
+type ServerRequest struct {
+	Header *CallHeader
+
+	// Args is the inline argument bytes following the RPC call header.
+	Args []byte
+
+	// Bulk is the pulled SendBulk payload (nil when the call carried none).
+	Bulk *Bulk
+
+	// RecvBulkCap is the client's advertised reply-payload capacity
+	// (0 when the client advertised no placement).
+	RecvBulkCap int
+
+	// ReplyBuf, when non-nil, is a transport-provided staging buffer the
+	// service fills with the reply payload (the server-side buffer that the
+	// paper's registration flow allocates at call receipt and registers
+	// when control returns from the file system). Services that produce a
+	// payload must use it when present and set ServerResponse.Bulk to it.
+	ReplyBuf *Bulk
+}
+
+// ServerResponse is what a service hands back to the server transport.
+type ServerResponse struct {
+	Stat AcceptStat
+
+	// Results is the inline result bytes (excluding the RPC reply header).
+	Results []byte
+
+	// Bulk is the reply payload to place at the client, if any.
+	Bulk *Bulk
+}
+
+// Service handles decoded calls for one (program, version).
+type Service interface {
+	Name() string
+	Program() uint32
+	Version() uint32
+	// Handle executes one procedure. It runs on a server worker process and
+	// may block on simulated I/O.
+	Handle(p *des.Proc, req *ServerRequest) *ServerResponse
+}

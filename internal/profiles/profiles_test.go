@@ -1,0 +1,78 @@
+package profiles
+
+import (
+	"testing"
+)
+
+func TestProfilesConstructNodes(t *testing.T) {
+	for _, p := range []Profile{SolarisSDR(), LinuxSDR(), LinuxDDR()} {
+		if p.Name == "" {
+			t.Error("profile without a name")
+		}
+		if p.Client.Cores <= 0 || p.Server.Cores <= 0 {
+			t.Errorf("%s: missing cores", p.Name)
+		}
+		if p.Client.PortBandwidth <= 0 || p.Server.PortBandwidth <= 0 {
+			t.Errorf("%s: missing port bandwidth", p.Name)
+		}
+		if p.Client.MaxORD != 8 || p.Server.MaxORD != 8 {
+			t.Errorf("%s: IRD/ORD must be the Mellanox limit of 8", p.Name)
+		}
+		if p.NFSPerOpCPU <= 0 {
+			t.Errorf("%s: NFS per-op CPU unset", p.Name)
+		}
+	}
+}
+
+func TestRegistrationCostOrdering(t *testing.T) {
+	// The calibration must preserve the paper's cost hierarchy:
+	// full registration > FMR map > (all-physical: zero).
+	for _, p := range []Profile{SolarisSDR(), LinuxSDR()} {
+		n := p.Server
+		regPerPage := n.RegPerPageBus
+		fmrPerPage := n.FMRMapPerPageBus
+		if fmrPerPage >= regPerPage {
+			t.Errorf("%s: FMR per-page bus (%v) must be cheaper than regular (%v)",
+				p.Name, fmrPerPage, regPerPage)
+		}
+	}
+}
+
+func TestLinuxFasterStackThanSolaris(t *testing.T) {
+	sol, lin := SolarisSDR(), LinuxSDR()
+	if lin.RDMAServer.SerialBase >= sol.RDMAServer.SerialBase {
+		t.Error("the Linux stack must have a smaller serialized base than the Solaris taskq")
+	}
+	if !sol.RDMAServer.SerializeSyncRead {
+		t.Error("the Solaris profile models the serialized synchronous RDMA Read wait")
+	}
+	if lin.RDMAServer.SerializeSyncRead {
+		t.Error("the Linux profile has independent svc threads")
+	}
+}
+
+func TestDDRUpgradesWireAndDisk(t *testing.T) {
+	sdr, ddr := LinuxSDR(), LinuxDDR()
+	if ddr.Server.PortBandwidth <= sdr.Server.PortBandwidth {
+		t.Error("DDR must be faster than SDR")
+	}
+	if ddr.Disk.Disks != 8 || ddr.Disk.DiskBandwidth != 30e6 {
+		t.Errorf("DDR disk array must be the paper's 8 x 30 MB/s: %+v", ddr.Disk)
+	}
+	if ddr.PageCacheBytes <= 0 {
+		t.Error("DDR profile needs a default page-cache size")
+	}
+}
+
+func TestTCPBaselineProfiles(t *testing.T) {
+	ipoib, gige := ipoibTCP(), GigETCP()
+	if ipoib.SoftirqNsPerByte <= gige.SoftirqNsPerByte {
+		t.Error("IPoIB's stack must be heavier per byte than GigE's")
+	}
+	if gige.IncastPenalty <= 0 {
+		t.Error("GigE models multi-client incast degradation")
+	}
+	if GigEPortBandwidth != 125e6 {
+		t.Error("GigE port must be 125 MB/s theoretical")
+	}
+}

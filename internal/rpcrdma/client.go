@@ -1,0 +1,557 @@
+package rpcrdma
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ibsim"
+	"repro/internal/memreg"
+	"repro/internal/oncrpc"
+)
+
+// Config tunes an RPC/RDMA endpoint (client or server side).
+type Config struct {
+	Design Design
+
+	// InlineThreshold is the largest message sent inline with RDMA Send;
+	// larger messages use long calls / long replies.
+	InlineThreshold int
+
+	// Credits bounds in-flight RPCs per connection: the client posts this
+	// many receives and never exceeds it with outstanding calls.
+	Credits int
+
+	// MaxBulk is the largest single bulk payload (rtmax/wtmax analogue).
+	MaxBulk int
+
+	// PerOpCPU is protocol processing cost charged per call at this
+	// endpoint.
+	PerOpCPU des.Duration
+
+	// Workers is the server worker-thread count (server side only).
+	Workers int
+
+	// ReplyBufPool bounds parked reply buffers awaiting RDMA_DONE in the
+	// Read-Read design (server side only). A malicious client that
+	// withholds DONE messages pins this pool — the §4.1 vulnerability.
+	ReplyBufPool int
+
+	// SerialBase and SerialPerByteNs model a serialized RPC/RDMA code path
+	// (the OpenSolaris taskq of Figure 1): every call holds a single lock
+	// for SerialBase plus SerialPerByteNs nanoseconds per bulk byte while
+	// marshalling chunks and registering buffers. Zero values disable the
+	// stage (the Linux profile's independent svc threads).
+	SerialBase      des.Duration
+	SerialPerByteNs float64
+
+	// SerializeSyncRead, when set, holds the serial stage across the
+	// synchronous RDMA Read wait on the server's receive path — the §4.1
+	// "synchronous RDMA Read limitation" at its worst.
+	SerializeSyncRead bool
+
+	// DynamicCredits enables the credit flow-control scheme of the paper's
+	// future-work section: the server advertises its live capacity in every
+	// reply and the client throttles to the latest grant (see credits.go).
+	DynamicCredits bool
+}
+
+// hasSerial reports whether the serialized-path model is enabled.
+func (c *Config) hasSerial() bool {
+	return c.SerialBase > 0 || c.SerialPerByteNs > 0 || c.SerializeSyncRead
+}
+
+// serialHold returns the serial-stage occupancy for a call moving n bulk
+// bytes.
+func (c *Config) serialHold(n int) des.Duration {
+	return c.SerialBase + des.Duration(float64(n)*c.SerialPerByteNs)
+}
+
+func (c *Config) defaults() {
+	if c.InlineThreshold <= 0 {
+		c.InlineThreshold = 1024
+	}
+	if c.Credits <= 0 {
+		c.Credits = 32
+	}
+	if c.MaxBulk <= 0 {
+		c.MaxBulk = 1 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.ReplyBufPool <= 0 {
+		c.ReplyBufPool = c.Credits
+	}
+}
+
+// recvBufSize is the posted receive capacity: inline threshold plus header
+// room.
+func (c *Config) recvBufSize() int { return c.InlineThreshold + 512 }
+
+type rtResult struct {
+	body    []byte
+	bulkLen int
+	err     error
+}
+
+type pending struct {
+	req  *oncrpc.Request
+	done *des.Event
+
+	// Destination for reply payload placement.
+	destBuf  *ibsim.Buffer
+	destOff  int
+	destReg  *memreg.Registration // external registration (direct I/O)
+	destChk  *memreg.Chunk        // arena staging (buffered path)
+	needCopy bool                 // staging -> caller copy after placement
+
+	// Source registration for call payload.
+	srcReg *memreg.Registration
+	srcChk *memreg.Chunk
+
+	// Long call / long reply staging.
+	longCall *memreg.Chunk
+	replyChk *memreg.Chunk
+}
+
+// ClientTransport is the client endpoint of one RPC/RDMA connection. It
+// implements oncrpc.Transport and is safe for use by many simulated client
+// threads concurrently (the multi-threaded IOzone workloads share one
+// mount's transport, as in the paper).
+type ClientTransport struct {
+	node     *ibsim.Node
+	qp       *ibsim.QP
+	mgr      *memreg.Manager
+	cfg      Config
+	inflight *creditGate
+	serial   *des.Resource // serialized send path (nil when disabled)
+	pending  map[uint32]*pending
+	closed   bool
+
+	// DropDone simulates the malicious/malfunctioning client of §4.1 that
+	// never sends RDMA_DONE, pinning server reply buffers.
+	DropDone bool
+
+	// Stats.
+	Calls     int64
+	DoneSent  int64
+	BulkReads int64
+}
+
+// QP exposes the underlying queue pair (tests and failure injection).
+func (t *ClientTransport) QP() *ibsim.QP { return t.qp }
+
+// Broken reports whether the connection has failed (QP in error state).
+func (t *ClientTransport) Broken() bool { return t.closed || t.qp.Err() != nil }
+
+// GrantedCredits returns the client's current flow-control grant.
+func (t *ClientTransport) GrantedCredits() int { return t.inflight.Granted() }
+
+// OutstandingCalls returns the in-flight call count.
+func (t *ClientTransport) OutstandingCalls() int { return t.inflight.Outstanding() }
+
+var _ oncrpc.Transport = (*ClientTransport)(nil)
+
+// NewClientTransport builds the client endpoint over an established QP.
+// It posts the connection's receive credits and starts the reply receiver.
+func NewClientTransport(p *des.Proc, qp *ibsim.QP, mgr *memreg.Manager, cfg Config) *ClientTransport {
+	cfg.defaults()
+	t := &ClientTransport{
+		node:     qp.Node(),
+		qp:       qp,
+		mgr:      mgr,
+		cfg:      cfg,
+		inflight: newCreditGate(qp.Node().Sim(), cfg.Credits),
+		pending:  make(map[uint32]*pending),
+	}
+	if cfg.hasSerial() {
+		t.serial = des.NewResource(qp.Node().Sim(), qp.Node().Name()+"/rpcrdma-serial", 1)
+	}
+	for i := 0; i < cfg.Credits; i++ {
+		qp.PostRecv(uint64(i), cfg.recvBufSize())
+	}
+	qp.Node().Sim().Spawn(qp.Node().Name()+"/rpcrdma-recv", t.receiver)
+	return t
+}
+
+// Close shuts the transport down.
+func (t *ClientTransport) Close() {
+	t.closed = true
+	t.qp.Close()
+}
+
+// bulkBuffer resolves the simulator buffer backing a Bulk, when the caller
+// provided one (the direct-I/O and core staging paths).
+func bulkBuffer(b *oncrpc.Bulk) (*ibsim.Buffer, int) {
+	if b == nil {
+		return nil, 0
+	}
+	if buf, ok := b.Handle.(*ibsim.Buffer); ok {
+		return buf, b.Off
+	}
+	return nil, 0
+}
+
+// Roundtrip implements oncrpc.Transport: one full RPC exchange under the
+// configured design.
+func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.Response, error) {
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if err := t.qp.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTransport, err)
+	}
+	t.Calls++
+	t.node.CPU.Work(p, t.cfg.PerOpCPU)
+	t.inflight.acquire(p)
+	defer t.inflight.release()
+
+	pend := &pending{req: req, done: des.NewEvent(t.node.Sim())}
+	hdr := &Header{XID: req.XID, Credits: uint32(t.cfg.Credits), Type: MsgRDMA}
+
+	// The client send path — chunk marshalling, registrations, posting —
+	// runs under the transport's serialized section when modelled.
+	if t.serial != nil {
+		t.serial.Acquire(p, 1)
+		bulkBytes := 0
+		if req.SendBulk != nil {
+			bulkBytes += req.SendBulk.Len
+		}
+		if req.RecvBulk != nil {
+			bulkBytes += req.RecvBulk.Len
+		}
+		p.Sleep(t.cfg.serialHold(bulkBytes))
+	}
+
+	// Call payload (e.g. WRITE data): advertised as a read chunk list for
+	// the server to pull, in both designs.
+	if req.SendBulk != nil && req.SendBulk.Len > 0 {
+		buf, off := bulkBuffer(req.SendBulk)
+		var segs []memreg.Segment
+		if buf != nil {
+			pend.srcReg = t.mgr.RegisterExternal(p, buf, off, req.SendBulk.Len, ibsim.AccessRemoteRead)
+			segs = pend.srcReg.Segments()
+		} else {
+			pend.srcChk = t.mgr.Get(p, req.SendBulk.Len, ibsim.AccessRemoteRead)
+			if d := pend.srcChk.Data(); d != nil && req.SendBulk.Data != nil {
+				copy(d, req.SendBulk.Data[:req.SendBulk.Len])
+			}
+			t.node.CPU.Copy(p, req.SendBulk.Len)
+			segs = clampSegs(pend.srcChk.Reg.Segments(), req.SendBulk.Len)
+		}
+		pos := uint32(len(req.Header))
+		for _, s := range segs {
+			hdr.ReadList = append(hdr.ReadList, ReadSeg{Position: pos, Segment: Segment{Rkey: s.Rkey, Length: uint32(s.Len), Addr: s.Addr}})
+		}
+	}
+
+	// Reply payload placement (e.g. READ data).
+	if req.RecvBulk != nil && req.RecvBulk.Len > 0 {
+		t.setupRecvPlacement(p, pend, req, hdr)
+	}
+
+	// Long reply staging (Read-Write design): the client must advertise a
+	// reply chunk big enough for the whole reply message.
+	if req.LongReplyCap > 0 && t.cfg.Design == ReadWrite {
+		capBytes := req.LongReplyCap + 256
+		pend.replyChk = t.mgr.Get(p, capBytes, ibsim.AccessLocalWrite|ibsim.AccessRemoteWrite)
+		hdr.ReplyChunk = clampSegsWire(pend.replyChk.Reg.Segments(), capBytes)
+	}
+
+	// Long call: an oversized call travels as a position-0 read chunk under
+	// RDMA_NOMSG; the server pulls the message body with RDMA Read.
+	inline := req.Header
+	if len(req.Header) > t.cfg.InlineThreshold {
+		pend.longCall = t.mgr.Get(p, len(req.Header), ibsim.AccessRemoteRead)
+		if d := pend.longCall.Data(); d != nil {
+			copy(d, req.Header)
+		} else {
+			panic("rpcrdma: long-call staging must be materialized")
+		}
+		t.node.CPU.Copy(p, len(req.Header))
+		hdr.Type = MsgNoMsg
+		for _, s := range clampSegs(pend.longCall.Reg.Segments(), len(req.Header)) {
+			hdr.ReadList = append(hdr.ReadList, ReadSeg{Position: 0, Segment: Segment{Rkey: s.Rkey, Length: uint32(s.Len), Addr: s.Addr}})
+		}
+		inline = nil
+	}
+
+	t.pending[req.XID] = pend
+	wire := append(hdr.Encode(), inline...)
+	p.Logf("rpcrdma call xid=%#x type=%v inline=%dB readsegs=%d writesegs=%d",
+		req.XID, hdr.Type, len(inline), len(hdr.ReadList), len(hdr.WriteList))
+	t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(req.XID), Op: ibsim.OpSend, Payload: wire})
+	if t.serial != nil {
+		t.serial.Release(1)
+	}
+
+	res := pend.done.Wait(p).(*rtResult)
+	delete(t.pending, req.XID)
+	p.Logf("rpcrdma done xid=%#x bulk=%dB err=%v", req.XID, res.bulkLen, res.err)
+	t.teardown(p, pend, res)
+	if res.err != nil {
+		return nil, res.err
+	}
+	return &oncrpc.Response{Header: res.body, BulkLen: res.bulkLen}, nil
+}
+
+// setupRecvPlacement prepares the reply-payload destination per design.
+func (t *ClientTransport) setupRecvPlacement(p *des.Proc, pend *pending, req *oncrpc.Request, hdr *Header) {
+	n := req.RecvBulk.Len
+	buf, off := bulkBuffer(req.RecvBulk)
+	switch t.cfg.Design {
+	case ReadWrite:
+		if buf != nil && req.DirectIO {
+			// Zero-copy direct I/O: expose the caller's buffer for the
+			// server's RDMA Write; data lands in place.
+			pend.destBuf, pend.destOff = buf, off
+			pend.destReg = t.mgr.RegisterExternal(p, buf, off, n, ibsim.AccessLocalWrite|ibsim.AccessRemoteWrite)
+			hdr.WriteList = clampSegsWire(pend.destReg.Segments(), n)
+		} else {
+			// Buffered path: server writes into transport staging; one copy
+			// to the caller afterwards.
+			pend.destChk = t.mgr.Get(p, n, ibsim.AccessLocalWrite|ibsim.AccessRemoteWrite)
+			pend.destBuf, pend.destOff = pend.destChk.Buf, 0
+			pend.needCopy = true
+			hdr.WriteList = clampSegsWire(pend.destChk.Reg.Segments(), n)
+		}
+	case ReadRead:
+		// Nothing is advertised: the server will expose chunks in its reply
+		// and this client pulls them into local staging, then copies out —
+		// the Read-Read design has no zero-copy path (§5.1).
+		pend.destChk = t.mgr.Get(p, n, ibsim.AccessLocalWrite)
+		pend.destBuf, pend.destOff = pend.destChk.Buf, 0
+		pend.needCopy = true
+	}
+}
+
+// teardown releases per-call registrations and performs the staging copy.
+func (t *ClientTransport) teardown(p *des.Proc, pend *pending, res *rtResult) {
+	if pend.needCopy && res.err == nil && res.bulkLen > 0 && pend.req.RecvBulk != nil {
+		// The staging-to-caller copy runs in the client's RPC completion
+		// path; under the serialized-stack model it holds the same lock as
+		// the send path, which is what keeps the buffered read path well
+		// below the direct-I/O one on the Solaris profile.
+		if t.serial != nil {
+			t.serial.Acquire(p, 1)
+		}
+		t.node.CPU.Copy(p, res.bulkLen)
+		if t.serial != nil {
+			t.serial.Release(1)
+		}
+		if d := pend.destChk.Data(); d != nil && pend.req.RecvBulk.Data != nil {
+			copy(pend.req.RecvBulk.Data, d[:min(res.bulkLen, len(d))])
+		}
+	}
+	if pend.destReg != nil {
+		t.mgr.DeregisterExternal(p, pend.destReg)
+	}
+	if pend.destChk != nil {
+		t.mgr.Put(p, pend.destChk)
+	}
+	if pend.srcReg != nil {
+		t.mgr.DeregisterExternal(p, pend.srcReg)
+	}
+	if pend.srcChk != nil {
+		t.mgr.Put(p, pend.srcChk)
+	}
+	if pend.longCall != nil {
+		t.mgr.Put(p, pend.longCall)
+	}
+	if pend.replyChk != nil {
+		t.mgr.Put(p, pend.replyChk)
+	}
+}
+
+// receiver is the client-side reply handler: it matches replies to pending
+// calls, performs Read-Read chunk pulls plus RDMA_DONE, and reconstructs
+// long replies.
+func (t *ClientTransport) receiver(p *des.Proc) {
+	for {
+		cqe := t.qp.RecvCQ.Wait(p)
+		if cqe == nil {
+			return
+		}
+		if cqe.Err != nil {
+			t.failAll(fmt.Errorf("%w: %v", ErrTransport, cqe.Err))
+			return
+		}
+		t.qp.PostRecv(cqe.WRID, t.cfg.recvBufSize())
+		hdr, body, err := DecodeHeader(cqe.Payload)
+		if err != nil {
+			continue // drop undecodable frames
+		}
+		if t.cfg.DynamicCredits {
+			t.inflight.setGranted(int(hdr.Credits))
+		}
+		pend, ok := t.pending[hdr.XID]
+		if !ok {
+			continue // duplicate or cancelled
+		}
+		// Handle each reply on its own process so one reply's RDMA Reads
+		// (Read-Read design) do not serialize the others — though they all
+		// still contend for the connection's ORD slots, which is exactly
+		// the bottleneck the paper describes.
+		h, b := hdr, body
+		t.node.Sim().Spawn(t.node.Name()+"/reply", func(rp *des.Proc) {
+			t.handleReply(rp, pend, h, b)
+		})
+	}
+}
+
+func (t *ClientTransport) handleReply(p *des.Proc, pend *pending, hdr *Header, body []byte) {
+	res := &rtResult{}
+	switch hdr.Type {
+	case MsgRDMA:
+		res.body = body
+		switch t.cfg.Design {
+		case ReadWrite:
+			for _, s := range hdr.WriteList {
+				res.bulkLen += int(s.Length)
+			}
+		case ReadRead:
+			res.bulkLen, res.err = t.pullChunks(p, pend, hdr)
+		}
+	case MsgNoMsg:
+		switch t.cfg.Design {
+		case ReadWrite:
+			// The long reply was RDMA-Written into our advertised reply
+			// chunk before this message was sent; Write-then-Send ordering
+			// makes it visible now.
+			if pend.replyChk == nil || len(hdr.ReplyChunk) == 0 {
+				res.err = fmt.Errorf("%w: unexpected long reply", ErrBadHeader)
+				break
+			}
+			n := 0
+			for _, s := range hdr.ReplyChunk {
+				n += int(s.Length)
+			}
+			d := pend.replyChk.Data()
+			if n > len(d) {
+				res.err = fmt.Errorf("%w: long reply overruns chunk", ErrBadHeader)
+				break
+			}
+			res.body = append([]byte(nil), d[:n]...)
+		case ReadRead:
+			// Pull the whole reply message from the server's exposed
+			// buffer, then release it with RDMA_DONE.
+			res.body, res.err = t.pullLongReply(p, hdr)
+		}
+	default:
+		res.err = fmt.Errorf("%w: reply type %v", ErrBadHeader, hdr.Type)
+	}
+	pend.done.Fire(res)
+}
+
+// pullChunks performs the Read-Read data pull: RDMA Read each advertised
+// chunk into the staging destination, then send RDMA_DONE.
+func (t *ClientTransport) pullChunks(p *des.Proc, pend *pending, hdr *Header) (int, error) {
+	total := 0
+	dstOff := pend.destOff
+	for _, seg := range hdr.ReadList {
+		if seg.Position == 0 {
+			continue
+		}
+		n := int(seg.Length)
+		if pend.destBuf == nil || dstOff+n > pend.destBuf.Size {
+			return total, fmt.Errorf("%w: chunk overruns destination", ErrBadHeader)
+		}
+		t.BulkReads++
+		cqe := t.qp.PostAndWait(p, &ibsim.SendWQE{
+			WRID: uint64(hdr.XID), Op: ibsim.OpRead,
+			Local:     []ibsim.LocalSeg{{Buf: pend.destBuf, Off: dstOff, Len: n}},
+			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
+		})
+		if cqe.Err != nil {
+			return total, fmt.Errorf("%w: chunk read: %v", ErrTransport, cqe.Err)
+		}
+		dstOff += n
+		total += n
+	}
+	t.sendDone(hdr.XID)
+	return total, nil
+}
+
+// pullLongReply fetches a Read-Read long reply (position-0 chunks).
+func (t *ClientTransport) pullLongReply(p *des.Proc, hdr *Header) ([]byte, error) {
+	n := 0
+	for _, seg := range hdr.ReadList {
+		if seg.Position == 0 {
+			n += int(seg.Length)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty long reply", ErrBadHeader)
+	}
+	staging := t.mgr.Get(p, n, ibsim.AccessLocalWrite)
+	defer t.mgr.Put(p, staging)
+	off := 0
+	for _, seg := range hdr.ReadList {
+		if seg.Position != 0 {
+			continue
+		}
+		t.BulkReads++
+		cqe := t.qp.PostAndWait(p, &ibsim.SendWQE{
+			WRID: uint64(hdr.XID), Op: ibsim.OpRead,
+			Local:     []ibsim.LocalSeg{{Buf: staging.Buf, Off: off, Len: int(seg.Length)}},
+			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
+		})
+		if cqe.Err != nil {
+			return nil, fmt.Errorf("%w: long reply read: %v", ErrTransport, cqe.Err)
+		}
+		off += int(seg.Length)
+	}
+	t.sendDone(hdr.XID)
+	return append([]byte(nil), staging.Data()[:n]...), nil
+}
+
+// sendDone emits RDMA_DONE unless the transport is configured to misbehave.
+func (t *ClientTransport) sendDone(xid uint32) {
+	if t.DropDone {
+		return
+	}
+	t.DoneSent++
+	done := &Header{XID: xid, Credits: uint32(t.cfg.Credits), Type: MsgDone}
+	t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(xid), Op: ibsim.OpSend, Payload: done.Encode()})
+}
+
+func (t *ClientTransport) failAll(err error) {
+	for xid, pend := range t.pending {
+		delete(t.pending, xid)
+		if !pend.done.Fired() {
+			pend.done.Fire(&rtResult{err: err})
+		}
+	}
+}
+
+// clampSegs truncates registration segments to cover exactly n bytes.
+func clampSegs(segs []memreg.Segment, n int) []memreg.Segment {
+	var out []memreg.Segment
+	for _, s := range segs {
+		if n <= 0 {
+			break
+		}
+		if s.Len > n {
+			s.Len = n
+		}
+		out = append(out, s)
+		n -= s.Len
+	}
+	return out
+}
+
+// clampSegsWire is clampSegs producing wire segments.
+func clampSegsWire(segs []memreg.Segment, n int) []Segment {
+	var out []Segment
+	for _, s := range clampSegs(segs, n) {
+		out = append(out, Segment{Rkey: s.Rkey, Length: uint32(s.Len), Addr: s.Addr})
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package rpcrdma
+
+import (
+	"repro/internal/des"
+)
+
+// Credit-based flow control. The RPC/RDMA header carries a credit field
+// (Figure 2: "Flow Control Field"); with static credits it simply reports
+// the configured receive depth. The paper's future-work section proposes
+// dynamic credit management to improve multi-client scalability, which
+// Config.DynamicCredits enables: the server advertises its *current*
+// capacity in every reply — the configured depth minus reply buffers still
+// parked awaiting RDMA_DONE — and the client throttles its in-flight calls
+// to the latest grant. Under a buffer-pinning attack (§4.1) honest load
+// then backs off before the server wedges.
+
+// creditGate bounds in-flight calls by a grant that can change at runtime
+// (a plain counting semaphore cannot shrink).
+type creditGate struct {
+	sim         *des.Sim
+	granted     int
+	outstanding int
+	waiters     []*des.Event
+}
+
+func newCreditGate(sim *des.Sim, initial int) *creditGate {
+	return &creditGate{sim: sim, granted: initial}
+}
+
+// acquire blocks until a credit is available, then consumes it.
+func (g *creditGate) acquire(p *des.Proc) {
+	for g.outstanding >= g.granted {
+		ev := des.NewEvent(g.sim)
+		g.waiters = append(g.waiters, ev)
+		ev.Wait(p)
+	}
+	g.outstanding++
+}
+
+// release returns a credit and wakes waiters up to the grant.
+func (g *creditGate) release() {
+	g.outstanding--
+	g.wake()
+}
+
+// setGranted installs a new grant (minimum 1: the protocol never revokes
+// the last credit, or progress would stop). Outstanding calls above a
+// shrunken grant drain naturally; only new calls throttle.
+func (g *creditGate) setGranted(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n != g.granted {
+		g.granted = n
+		g.wake()
+	}
+}
+
+// wake releases as many queued waiters as the grant currently allows; a
+// woken waiter re-checks the condition, so extra wakeups are harmless.
+func (g *creditGate) wake() {
+	free := g.granted - g.outstanding
+	for free > 0 && len(g.waiters) > 0 {
+		ev := g.waiters[0]
+		g.waiters = g.waiters[1:]
+		ev.Fire(nil)
+		free--
+	}
+}
+
+// Granted returns the current grant (for tests and metrics).
+func (g *creditGate) Granted() int { return g.granted }
+
+// Outstanding returns the in-flight call count.
+func (g *creditGate) Outstanding() int { return g.outstanding }

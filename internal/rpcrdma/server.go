@@ -1,0 +1,573 @@
+package rpcrdma
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ibsim"
+	"repro/internal/memreg"
+	"repro/internal/oncrpc"
+)
+
+// connXID keys per-connection transaction state.
+type connXID struct {
+	conn *serverConn
+	xid  uint32
+}
+
+// parkedReply holds server resources pinned until the client's RDMA_DONE
+// (Read-Read design only). The chunks stay registered — and remotely
+// readable — for as long as the client withholds the DONE, which is the
+// §4.1 resource-pinning and exposure vulnerability.
+type parkedReply struct {
+	chunks []*memreg.Chunk
+}
+
+// serverTask is one received message queued for the worker pool.
+type serverTask struct {
+	conn *serverConn
+	hdr  *Header
+	body []byte
+}
+
+// serverConn is one client connection at the server.
+type serverConn struct {
+	srv *ServerTransport
+	qp  *ibsim.QP
+
+	// Per-connection reply-buffer accounting, used when dynamic credits
+	// are enabled: a client that pins replies exhausts only its own pool
+	// and only its own grant.
+	parked     int
+	replySlots *des.Resource
+}
+
+// ServerTransport is the server endpoint of the RPC/RDMA transport: it
+// accepts connections, decodes the header, pulls read chunks, dispatches to
+// the RPC layer through a worker pool (the paper's server task queue,
+// Figure 1), and sends replies per the configured design.
+type ServerTransport struct {
+	node       *ibsim.Node
+	mgr        *memreg.Manager
+	cfg        Config
+	dispatcher *oncrpc.Dispatcher
+	workQ      *des.Queue
+	parked     map[connXID]*parkedReply
+	replySlots *des.Resource // Read-Read reply-buffer pool
+	serial     *des.Resource // serialized send/receive path (nil when disabled)
+	closed     bool
+
+	// Stats.
+	Requests    int64
+	LongCalls   int64
+	LongReplies int64
+	BulkReads   int64
+	BulkWrites  int64
+	DoneRecv    int64
+}
+
+// NewServerTransport creates the server engine and starts its worker pool.
+func NewServerTransport(p *des.Proc, node *ibsim.Node, mgr *memreg.Manager, dispatcher *oncrpc.Dispatcher, cfg Config) *ServerTransport {
+	cfg.defaults()
+	s := &ServerTransport{
+		node:       node,
+		mgr:        mgr,
+		cfg:        cfg,
+		dispatcher: dispatcher,
+		workQ:      des.NewQueue(node.Sim(), node.Name()+"/rpcrdma-workq"),
+		parked:     make(map[connXID]*parkedReply),
+		replySlots: des.NewResource(node.Sim(), node.Name()+"/rpcrdma-replypool", cfg.ReplyBufPool),
+	}
+	if cfg.hasSerial() {
+		s.serial = des.NewResource(node.Sim(), node.Name()+"/rpcrdma-serial", 1)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		node.Sim().Spawn(fmt.Sprintf("%s/nfsd-%d", node.Name(), i), s.worker)
+	}
+	return s
+}
+
+// Node returns the server's node.
+func (s *ServerTransport) Node() *ibsim.Node { return s.node }
+
+// Manager returns the registration manager.
+func (s *ServerTransport) Manager() *memreg.Manager { return s.mgr }
+
+// ParkedReplies returns the number of reply buffers awaiting RDMA_DONE.
+func (s *ServerTransport) ParkedReplies() int { return len(s.parked) }
+
+// Close stops accepting work.
+func (s *ServerTransport) Close() {
+	if !s.closed {
+		s.closed = true
+		s.workQ.Close()
+	}
+}
+
+// Serve attaches an accepted connection: receives are posted and the
+// connection's messages feed the shared worker queue.
+func (s *ServerTransport) Serve(qp *ibsim.QP) {
+	conn := &serverConn{srv: s, qp: qp}
+	if s.cfg.DynamicCredits {
+		conn.replySlots = des.NewResource(s.node.Sim(), s.node.Name()+"/conn-replypool", s.cfg.ReplyBufPool)
+	}
+	for i := 0; i < s.cfg.Credits; i++ {
+		qp.PostRecv(uint64(i), s.cfg.recvBufSize())
+	}
+	s.node.Sim().Spawn(s.node.Name()+"/conn-recv", func(p *des.Proc) {
+		for {
+			cqe := qp.RecvCQ.Wait(p)
+			if cqe == nil || cqe.Err != nil {
+				// Connection dead: release every reply still parked for it
+				// (an RDMA_DONE can never arrive on a broken connection).
+				for key := range s.parked {
+					if key.conn == conn {
+						s.releaseParked(p, key)
+					}
+				}
+				return
+			}
+			qp.PostRecv(cqe.WRID, s.cfg.recvBufSize())
+			hdr, body, err := DecodeHeader(cqe.Payload)
+			if err != nil {
+				continue
+			}
+			s.workQ.Put(&serverTask{conn: conn, hdr: hdr, body: body})
+		}
+	})
+}
+
+// worker is one server thread (nfsd): the paper's two-part state machine —
+// receive path (allocate buffers, pull chunks, call the file system) and
+// the return path (register reply buffers, push data, reply).
+func (s *ServerTransport) worker(p *des.Proc) {
+	for {
+		v, ok := s.workQ.Get(p)
+		if !ok {
+			return
+		}
+		task := v.(*serverTask)
+		s.handle(p, task)
+	}
+}
+
+func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
+	hdr := task.hdr
+	if hdr.Type == MsgDone {
+		s.DoneRecv++
+		// DONE processing crosses the same serialized receive path as any
+		// other message — part of why the Read-Read server saturates below
+		// the Read-Write one even at full pipeline depth (§5.1).
+		if s.serial != nil {
+			s.serial.Use(p, 1, s.cfg.SerialBase)
+		}
+		s.releaseParked(p, connXID{task.conn, hdr.XID})
+		return
+	}
+	s.Requests++
+	p.Logf("rpcrdma serve xid=%#x type=%v readsegs=%d writesegs=%d",
+		hdr.XID, hdr.Type, len(hdr.ReadList), len(hdr.WriteList))
+	s.node.CPU.Work(p, s.cfg.PerOpCPU)
+
+	// --- Receive path ---
+	callBytes := task.body
+	if hdr.Type == MsgNoMsg {
+		// RPC Long Call: pull the message body advertised at position 0.
+		s.LongCalls++
+		var err error
+		callBytes, err = s.pullLongCall(p, task)
+		if err != nil {
+			return // connection-level failure; QP is already in error
+		}
+	}
+
+	// Pull WRITE-class payload (read chunks at positions > 0). The server
+	// thread blocks until its RDMA Reads complete: InfiniBand gives no
+	// ordering between a Read and a later Send, so there is no overlap to
+	// exploit (§4.1).
+	var bulkIn *oncrpc.Bulk
+	var bulkInChk *memreg.Chunk
+	dataLen := 0
+	for _, seg := range hdr.ReadList {
+		if seg.Position > 0 {
+			dataLen += int(seg.Length)
+		}
+	}
+	if dataLen > 0 {
+		// The receive path — buffer allocation, registration, chunk pulls —
+		// runs under the serialized section when modelled; the synchronous
+		// RDMA Read wait is additionally held inside it when
+		// SerializeSyncRead is set.
+		if s.serial != nil {
+			s.serial.Acquire(p, 1)
+			p.Sleep(s.cfg.SerialBase)
+		}
+		bulkInChk = s.mgr.GetUnregistered(p, dataLen, ibsim.AccessLocalWrite)
+		s.mgr.RegisterChunk(p, bulkInChk, dataLen) // must precede the DMA
+		off := 0
+		var events []*des.Event
+		for _, seg := range hdr.ReadList {
+			if seg.Position == 0 {
+				continue
+			}
+			s.BulkReads++
+			ev := des.NewEvent(s.node.Sim())
+			wqe := &ibsim.SendWQE{
+				WRID: uint64(hdr.XID), Op: ibsim.OpRead,
+				Local:     []ibsim.LocalSeg{{Buf: bulkInChk.Buf, Off: off, Len: int(seg.Length)}},
+				RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
+			}
+			postWithEvent(task.conn.qp, wqe, ev)
+			events = append(events, ev)
+			off += int(seg.Length)
+		}
+		if s.serial != nil && !s.cfg.SerializeSyncRead {
+			s.serial.Release(1)
+		}
+		failed := false
+		for _, ev := range events {
+			cqe := ev.Wait(p).(*ibsim.CQE)
+			if cqe.Err != nil {
+				failed = true
+			}
+		}
+		s.node.CPU.Interrupt(p) // the completion that unblocks the thread
+		if s.serial != nil && s.cfg.SerializeSyncRead {
+			s.serial.Release(1)
+		}
+		if failed {
+			s.mgr.Put(p, bulkInChk)
+			return
+		}
+		var data []byte
+		if d := bulkInChk.Data(); d != nil {
+			data = d[:dataLen]
+		}
+		bulkIn = &oncrpc.Bulk{Data: data, Len: dataLen, Handle: bulkInChk.Buf}
+	}
+
+	// Reply-payload staging: allocated on the receive path, registered when
+	// control returns from the file system (§4.3, Figure 1).
+	recvCap := 0
+	for _, seg := range hdr.WriteList {
+		recvCap += int(seg.Length)
+	}
+	if s.cfg.Design == ReadRead {
+		recvCap = s.cfg.MaxBulk
+	}
+	var replyStaging *memreg.Chunk
+	var replyBuf *oncrpc.Bulk
+	if recvCap > 0 {
+		replyStaging = s.mgr.GetUnregistered(p, recvCap, s.replyAccess())
+		replyBuf = &oncrpc.Bulk{Data: replyStaging.Data(), Len: 0, Handle: replyStaging.Buf}
+		if replyBuf.Data != nil && recvCap < len(replyBuf.Data) {
+			replyBuf.Data = replyBuf.Data[:recvCap]
+		}
+	}
+
+	// --- File system ---
+	reply, bulkOut, err := s.dispatcher.Dispatch(p, callBytes, oncrpc.DispatchOpts{
+		Bulk:        bulkIn,
+		RecvBulkCap: recvCap,
+		ReplyBuf:    replyBuf,
+	})
+	if bulkInChk != nil {
+		s.mgr.Put(p, bulkInChk)
+	}
+	if err != nil {
+		if replyStaging != nil {
+			s.mgr.Put(p, replyStaging)
+		}
+		return
+	}
+
+	// --- Return path ---
+	switch s.cfg.Design {
+	case ReadWrite:
+		s.replyReadWrite(p, task, hdr, reply, bulkOut, replyStaging)
+	case ReadRead:
+		s.replyReadRead(p, task, hdr, reply, bulkOut, replyStaging)
+	}
+}
+
+// replyAccess is the access mode of reply staging buffers: the Read-Write
+// design keeps them local-only (never exposed); the Read-Read design must
+// grant remote read — the vulnerability.
+func (s *ServerTransport) replyAccess() ibsim.Access {
+	if s.cfg.Design == ReadRead {
+		return ibsim.AccessLocalWrite | ibsim.AccessRemoteRead
+	}
+	return ibsim.AccessLocalWrite
+}
+
+// pullLongCall fetches an RDMA_NOMSG call body.
+func (s *ServerTransport) pullLongCall(p *des.Proc, task *serverTask) ([]byte, error) {
+	n := 0
+	for _, seg := range task.hdr.ReadList {
+		if seg.Position == 0 {
+			n += int(seg.Length)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: NOMSG call without position-0 chunk", ErrBadHeader)
+	}
+	staging := s.mgr.Get(p, n, ibsim.AccessLocalWrite)
+	defer s.mgr.Put(p, staging)
+	off := 0
+	for _, seg := range task.hdr.ReadList {
+		if seg.Position != 0 {
+			continue
+		}
+		s.BulkReads++
+		cqe := task.conn.qp.PostAndWait(p, &ibsim.SendWQE{
+			WRID: uint64(task.hdr.XID), Op: ibsim.OpRead,
+			Local:     []ibsim.LocalSeg{{Buf: staging.Buf, Off: off, Len: int(seg.Length)}},
+			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
+		})
+		if cqe.Err != nil {
+			return nil, fmt.Errorf("%w: long call read: %v", ErrTransport, cqe.Err)
+		}
+		off += int(seg.Length)
+	}
+	return append([]byte(nil), staging.Data()[:n]...), nil
+}
+
+// replyReadWrite sends a Read-Write design reply: RDMA Write data to the
+// client's advertised chunks, then the inline (or NOMSG long) reply. The
+// send completion guarantees the writes are placed, so every buffer is
+// released immediately — no DONE, no parking, no exposure.
+func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *Header, reply []byte, bulkOut *oncrpc.Bulk, staging *memreg.Chunk) {
+	rh := &Header{XID: call.XID, Credits: s.advertiseCredits(task.conn), Type: MsgRDMA}
+	qp := task.conn.qp
+
+	// The send path — reply marshalling, registration on return from the
+	// file system, push posting — runs under the serialized section.
+	outLen := 0
+	if bulkOut != nil {
+		outLen = bulkOut.Len
+	}
+	if s.serial != nil {
+		s.serial.Acquire(p, 1)
+		p.Sleep(s.cfg.serialHold(outLen))
+	}
+
+	if bulkOut != nil && bulkOut.Len > 0 && len(call.WriteList) > 0 {
+		// Registration happens now — on return from the file system — which
+		// is what makes the slab cache's hit path free.
+		if staging != nil {
+			s.mgr.RegisterChunk(p, staging, bulkOut.Len)
+		}
+		srcBuf := staging.Buf
+		pushed := s.pushBulk(p, qp, srcBuf, bulkOut.Len, call.WriteList)
+		rh.WriteList = pushed
+	}
+
+	var longChk *memreg.Chunk
+	switch {
+	case len(reply) <= s.cfg.InlineThreshold:
+		// Inline reply.
+	case len(call.ReplyChunk) == 0:
+		// Slightly oversized reply with no reply chunk advertised: the
+		// posted receives carry headroom beyond the threshold, so squeeze
+		// it inline rather than dropping the call. Truly oversized replies
+		// without placement cannot be delivered.
+		if len(reply) > s.cfg.recvBufSize() {
+			if s.serial != nil {
+				s.serial.Release(1)
+			}
+			if staging != nil {
+				s.mgr.Put(p, staging)
+			}
+			return
+		}
+	default:
+		// RPC Long Reply: write the whole message into the client's reply
+		// chunk and send a NOMSG notification.
+		s.LongReplies++
+		longChk = s.mgr.Get(p, len(reply), ibsim.AccessLocalWrite)
+		if d := longChk.Data(); d != nil {
+			copy(d, reply)
+		}
+		s.node.CPU.Copy(p, len(reply))
+		rh.ReplyChunk = s.pushBulk(p, qp, longChk.Buf, len(reply), call.ReplyChunk)
+		rh.Type = MsgNoMsg
+		reply = nil
+	}
+
+	wire := append(rh.Encode(), reply...)
+	ev := des.NewEvent(s.node.Sim())
+	postWithEvent(qp, &ibsim.SendWQE{WRID: uint64(call.XID), Op: ibsim.OpSend, Payload: wire}, ev)
+	if s.serial != nil {
+		s.serial.Release(1) // posting done; the wire drains without the lock
+	}
+	ev.Wait(p)
+	s.node.CPU.Interrupt(p)
+	// Send completion => prior RDMA Writes placed; deregister and release.
+	if staging != nil {
+		s.mgr.Put(p, staging)
+	}
+	if longChk != nil {
+		s.mgr.Put(p, longChk)
+	}
+}
+
+// pushBulk RDMA-Writes n bytes from src into the peer segments, returning
+// the segments annotated with actual lengths. Writes are unsignaled except
+// implicitly through the following send (Write-then-Send ordering).
+func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer, n int, dst []Segment) []Segment {
+	var out []Segment
+	off := 0
+	for _, seg := range dst {
+		if n <= 0 {
+			break
+		}
+		l := int(seg.Length)
+		if l > n {
+			l = n
+		}
+		s.BulkWrites++
+		qp.PostSend(&ibsim.SendWQE{
+			WRID: 0, Op: ibsim.OpWrite,
+			Local:     []ibsim.LocalSeg{{Buf: src, Off: off, Len: l}},
+			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
+		})
+		out = append(out, Segment{Rkey: seg.Rkey, Length: uint32(l), Addr: seg.Addr})
+		off += l
+		n -= l
+	}
+	return out
+}
+
+// replyReadRead sends a Read-Read design reply: expose the reply data (and
+// long replies) as read chunks, park the buffers, and wait for RDMA_DONE to
+// release them.
+func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Header, reply []byte, bulkOut *oncrpc.Bulk, staging *memreg.Chunk) {
+	rh := &Header{XID: call.XID, Credits: s.advertiseCredits(task.conn), Type: MsgRDMA}
+	qp := task.conn.qp
+	var park []*memreg.Chunk
+
+	outLen := 0
+	if bulkOut != nil {
+		outLen = bulkOut.Len
+	}
+	// Reserve the reply-buffer slot BEFORE the serialized send path: a
+	// blocked reservation (pool exhausted by unacknowledged replies) must
+	// park only this worker, never the whole send path.
+	willPark := outLen > 0 || len(reply) > s.cfg.InlineThreshold && len(reply) > s.cfg.recvBufSize()
+	if len(reply) > s.cfg.InlineThreshold {
+		willPark = true
+	}
+	if willPark {
+		if task.conn.replySlots != nil {
+			task.conn.replySlots.Acquire(p, 1)
+		} else {
+			s.replySlots.Acquire(p, 1)
+		}
+	}
+	if s.serial != nil {
+		s.serial.Acquire(p, 1)
+		p.Sleep(s.cfg.serialHold(outLen))
+	}
+
+	if bulkOut != nil && bulkOut.Len > 0 && staging != nil {
+		s.mgr.RegisterChunk(p, staging, bulkOut.Len) // exposes the buffer (RemoteRead)
+		pos := uint32(len(reply))
+		for _, seg := range clampSegs(staging.Reg.Segments(), bulkOut.Len) {
+			rh.ReadList = append(rh.ReadList, ReadSeg{Position: pos, Segment: Segment{Rkey: seg.Rkey, Length: uint32(seg.Len), Addr: seg.Addr}})
+		}
+		park = append(park, staging)
+		staging = nil
+	}
+
+	if len(reply) > s.cfg.InlineThreshold && len(reply) <= s.cfg.recvBufSize() {
+		// Oversized-but-deliverable reply: the posted receives carry
+		// headroom beyond the threshold, so send it inline.
+	} else if len(reply) > s.cfg.InlineThreshold {
+		// Long reply: expose the whole message for the client to read.
+		s.LongReplies++
+		longChk := s.mgr.Get(p, len(reply), ibsim.AccessLocalWrite|ibsim.AccessRemoteRead)
+		if d := longChk.Data(); d != nil {
+			copy(d, reply)
+		}
+		s.node.CPU.Copy(p, len(reply))
+		rh.Type = MsgNoMsg
+		rh.ReadList = rh.ReadList[:0] // a NOMSG reply carries only itself
+		for _, seg := range clampSegs(longChk.Reg.Segments(), len(reply)) {
+			rh.ReadList = append(rh.ReadList, ReadSeg{Position: 0, Segment: Segment{Rkey: seg.Rkey, Length: uint32(seg.Len), Addr: seg.Addr}})
+		}
+		park = append(park, longChk)
+		reply = nil
+	}
+
+	if staging != nil {
+		s.mgr.Put(p, staging) // no payload produced; release unregistered
+	}
+
+	switch {
+	case len(park) > 0:
+		// The reply-buffer pool bounds how many replies can sit waiting for
+		// DONE (slot reserved above). With the original design's single
+		// shared pool, a client that never sends DONE pins slots until the
+		// server stops serving anyone (§4.1); with dynamic credits the pool
+		// — and the grant — are per connection, so a misbehaving client
+		// wedges only itself.
+		task.conn.parked++
+		s.parked[connXID{task.conn, call.XID}] = &parkedReply{chunks: park}
+	case willPark:
+		// Reserved but nothing ended up parked (e.g. squeezed inline).
+		if task.conn.replySlots != nil {
+			task.conn.replySlots.Release(1)
+		} else {
+			s.replySlots.Release(1)
+		}
+	}
+
+	wire := append(rh.Encode(), reply...)
+	ev := des.NewEvent(s.node.Sim())
+	postWithEvent(qp, &ibsim.SendWQE{WRID: uint64(call.XID), Op: ibsim.OpSend, Payload: wire}, ev)
+	if s.serial != nil {
+		s.serial.Release(1)
+	}
+	ev.Wait(p)
+	s.node.CPU.Interrupt(p)
+}
+
+// advertiseCredits computes the flow-control grant carried in reply
+// headers: the static depth, or — under dynamic credits — the depth minus
+// the reply buffers THIS connection still has pinned awaiting RDMA_DONE,
+// so a client that hoards buffers throttles only itself.
+func (s *ServerTransport) advertiseCredits(conn *serverConn) uint32 {
+	if !s.cfg.DynamicCredits {
+		return uint32(s.cfg.Credits)
+	}
+	free := s.cfg.Credits - conn.parked
+	if free < 1 {
+		free = 1
+	}
+	return uint32(free)
+}
+
+// releaseParked frees the buffers of one acknowledged reply.
+func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) {
+	pr, ok := s.parked[key]
+	if !ok {
+		return
+	}
+	delete(s.parked, key)
+	for _, c := range pr.chunks {
+		s.mgr.Put(p, c)
+	}
+	key.conn.parked--
+	if key.conn.replySlots != nil {
+		key.conn.replySlots.Release(1)
+	} else {
+		s.replySlots.Release(1)
+	}
+}
+
+// postWithEvent posts a WQE whose completion fires ev.
+func postWithEvent(qp *ibsim.QP, w *ibsim.SendWQE, ev *des.Event) {
+	w.Signaled = false
+	w.Done = ev
+	qp.PostSend(w)
+}

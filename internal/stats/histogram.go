@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-scale latency histogram (powers of √2 from 1 µs to
+// ~17 s), cheap enough to record every RPC in a simulation and precise
+// enough for p50/p95/p99 reporting.
+type Histogram struct {
+	buckets [50]int64
+	count   int64
+	sum     float64 // microseconds
+	min     float64
+	max     float64
+}
+
+// bucketFor maps a value in microseconds to its bucket index.
+func bucketFor(us float64) int {
+	if us < 1 {
+		return 0
+	}
+	idx := int(math.Log2(us) * 2) // √2 steps
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len((&Histogram{}).buckets) {
+		idx = len((&Histogram{}).buckets) - 1
+	}
+	return idx
+}
+
+// bucketLower returns the lower bound (µs) of bucket i.
+func bucketLower(i int) float64 {
+	return math.Pow(2, float64(i)/2)
+}
+
+// Observe records one value in microseconds.
+func (h *Histogram) Observe(us float64) {
+	h.buckets[bucketFor(us)]++
+	h.count++
+	h.sum += us
+	if h.count == 1 || us < h.min {
+		h.min = us
+	}
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the mean in microseconds.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the observed extremes in microseconds.
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation in microseconds.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q < 1) in
+// microseconds, by linear interpolation within the containing bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := q * float64(h.count)
+	var seen float64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= target {
+			lo := bucketLower(i)
+			hi := bucketLower(i + 1)
+			frac := (target - seen) / float64(n)
+			v := lo + (hi-lo)*frac
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		seen += float64(n)
+	}
+	return h.max
+}
+
+// Summary renders "count mean p50 p95 p99 max" in microseconds.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%.1fµs p95=%.1fµs p99=%.1fµs max=%.1fµs",
+		h.count, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.max)
+}
+
+// Bars renders a compact ASCII distribution (one row per occupied bucket).
+func (h *Histogram) Bars() string {
+	var peak int64
+	for _, n := range h.buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	if peak == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		width := int(float64(n) / float64(peak) * 40)
+		if width == 0 {
+			width = 1
+		}
+		fmt.Fprintf(&b, "%10.0fµs %7d %s\n", bucketLower(i), n, strings.Repeat("#", width))
+	}
+	return b.String()
+}

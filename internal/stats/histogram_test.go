@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 499 || m > 502 {
+		t.Fatalf("mean = %v", m)
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 300 || p50 > 700 {
+		t.Fatalf("p50 = %v for uniform 1..1000 (log buckets are coarse, but not this coarse)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 800 || p99 > 1000 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if !strings.Contains(h.Summary(), "n=1000") {
+		t.Fatalf("summary: %s", h.Summary())
+	}
+	if h.Bars() == "(empty)\n" {
+		t.Fatal("bars empty")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Bars() != "(empty)\n" {
+		t.Fatal("empty bars")
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(float64(v%10_000_000) + 0.5)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := 0.0
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			v := h.Quantile(q)
+			if v < prev || math.IsNaN(v) {
+				return false
+			}
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0.01) // below first bucket
+	h.Observe(1e12) // beyond last bucket
+	if h.Count() != 2 {
+		t.Fatal("extremes not recorded")
+	}
+	if h.Quantile(0.99) > 1e12 {
+		t.Fatal("quantile exceeded max")
+	}
+}

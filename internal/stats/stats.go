@@ -1,0 +1,167 @@
+// Package stats collects experiment metrics and renders them as aligned
+// text tables, the form in which benchmark harnesses report the paper's
+// figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a simple named-counter set. It is safe for concurrent use so
+// both simulation code (single-threaded) and test assertions can share it.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of the named counter.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	c.m = make(map[string]int64)
+	c.mu.Unlock()
+}
+
+// Snapshot returns a sorted copy of all counters.
+func (c *Counters) Snapshot() []CounterValue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CounterValue, 0, len(c.m))
+	for k, v := range c.m {
+		out = append(out, CounterValue{Name: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CounterValue is one named counter reading.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Table is a simple text table builder used for experiment reports.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	numeric []bool // column alignment
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v, and float64 values are
+// rendered with one decimal place.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.header, " | ") + " |\n")
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// MBps converts (bytes, seconds) to megabytes per second (1 MB = 10^6 bytes,
+// matching the paper's units).
+func MBps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / seconds
+}

@@ -1,0 +1,336 @@
+// Package workload implements the paper's benchmark drivers: an
+// IOzone-style multi-threaded sequential read/write generator (§5.1, §5.2),
+// a FileBench-style OLTP mix (§5.2), and the multi-client streaming-read
+// scale-out test (§5.3). All timing is virtual; throughput numbers are
+// MB (10^6 bytes) per simulated second, CPU numbers come from the hosts'
+// core models.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/stats"
+)
+
+// parallel runs n workers and blocks until all finish.
+func parallel(p *des.Proc, name string, n int, fn func(wp *des.Proc, i int)) {
+	sim := p.Sim()
+	events := make([]*des.Event, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ev := des.NewEvent(sim)
+		events[i] = ev
+		sim.Spawn(fmt.Sprintf("%s-%d", name, i), func(wp *des.Proc) {
+			fn(wp, i)
+			ev.Fire(nil)
+		})
+	}
+	des.WaitAll(p, events...)
+}
+
+// IOzoneConfig parameterizes one IOzone-style run on a single client.
+// IOzone creates a separate file per thread (as the paper notes), writes it
+// sequentially, then reads it back sequentially.
+type IOzoneConfig struct {
+	Threads    int
+	FileSize   int64 // bytes per thread
+	RecordSize int
+	DirectIO   bool // zero-copy read placement (§4, Read-Write design only)
+	Client     int  // index of the driving client
+}
+
+// Phase is one measured IOzone phase.
+type Phase struct {
+	MBps         float64
+	ClientCPUPct float64
+	ServerCPUPct float64
+	Interrupts   int64 // client-side interrupts taken during the phase
+	Elapsed      des.Time
+}
+
+// IOzoneResult carries both phases.
+type IOzoneResult struct {
+	Write Phase
+	Read  Phase
+}
+
+// RunIOzone executes the write and read phases inside an existing cluster
+// process and returns the measured result.
+func RunIOzone(p *des.Proc, cluster *core.Cluster, cfg IOzoneConfig) (IOzoneResult, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	cl := cluster.Clients[cfg.Client]
+	files := make([]*core.File, cfg.Threads)
+	for i := range files {
+		f, err := cl.Create(p, fmt.Sprintf("iozone.%d.%d", cfg.Client, i))
+		if err != nil {
+			return IOzoneResult{}, err
+		}
+		files[i] = f
+	}
+	var res IOzoneResult
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	runPhase := func(write bool) Phase {
+		cl.Node.CPU.ResetWindow()
+		cluster.Server.Node.CPU.ResetWindow()
+		start := p.Now()
+		var moved int64
+		parallel(p, "iozone", cfg.Threads, func(wp *des.Proc, i int) {
+			buf := cl.NewBuffer(cfg.RecordSize)
+			f := files[i]
+			for off := int64(0); off < cfg.FileSize; off += int64(cfg.RecordSize) {
+				n := cfg.RecordSize
+				if rem := cfg.FileSize - off; int64(n) > rem {
+					n = int(rem)
+				}
+				if write {
+					w, err := f.WriteAt(wp, buf, 0, off, n, false)
+					record(err)
+					moved += int64(w)
+				} else {
+					r, _, err := f.ReadAt(wp, buf, 0, off, n, cfg.DirectIO)
+					record(err)
+					moved += int64(r)
+				}
+			}
+		})
+		elapsed := p.Now() - start
+		return Phase{
+			MBps:         stats.MBps(moved, elapsed.Seconds()),
+			ClientCPUPct: cl.Node.CPU.Utilization() * 100,
+			ServerCPUPct: cluster.Server.Node.CPU.Utilization() * 100,
+			Interrupts:   cl.Node.CPU.Interrupts(),
+			Elapsed:      elapsed,
+		}
+	}
+
+	res.Write = runPhase(true)
+	res.Read = runPhase(false)
+	return res, firstErr
+}
+
+// OLTPConfig parameterizes the FileBench-style OLTP mix: reader threads
+// performing random reads of MeanIOSize against a shared datafile, writer
+// threads performing random writes, and a log writer appending
+// synchronously — the ratio FileBench's oltp personality uses, reduced to
+// its I/O essentials.
+type OLTPConfig struct {
+	Readers  int
+	Writers  int
+	MeanIO   int
+	FileSize int64
+	Duration des.Duration
+	Client   int
+	Seed     uint64
+}
+
+// OLTPResult is the measured OLTP outcome.
+type OLTPResult struct {
+	OpsPerSec     float64
+	Ops           int64
+	ClientUSPerOp float64 // client CPU microseconds per operation
+	ServerUSPerOp float64
+	ClientCPUPct  float64
+	ServerCPUPct  float64
+}
+
+// RunOLTP executes the OLTP mix for the configured virtual duration.
+func RunOLTP(p *des.Proc, cluster *core.Cluster, cfg OLTPConfig) (OLTPResult, error) {
+	if cfg.MeanIO <= 0 {
+		cfg.MeanIO = 128 << 10
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 512 << 20
+	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = max(1, cfg.Readers/4)
+	}
+	cl := cluster.Clients[cfg.Client]
+	data, err := cl.Create(p, "oltp.datafile")
+	if err != nil {
+		return OLTPResult{}, err
+	}
+	logf, err := cl.Create(p, "oltp.log")
+	if err != nil {
+		return OLTPResult{}, err
+	}
+	// Populate the datafile so reads hit allocated space.
+	{
+		buf := cl.NewBuffer(1 << 20)
+		for off := int64(0); off < cfg.FileSize; off += 1 << 20 {
+			if _, err := data.WriteAt(p, buf, 0, off, 1<<20, false); err != nil {
+				return OLTPResult{}, err
+			}
+		}
+	}
+
+	cl.Node.CPU.ResetWindow()
+	cluster.Server.Node.CPU.ResetWindow()
+	start := p.Now()
+	deadline := start + des.Time(cfg.Duration)
+	var ops int64
+	var firstErr error
+
+	blocks := cfg.FileSize / int64(cfg.MeanIO)
+	worker := func(wp *des.Proc, seed uint64, write bool) {
+		rng := des.NewRand(seed)
+		buf := cl.NewBuffer(cfg.MeanIO)
+		for wp.Now() < deadline {
+			off := rng.Int63n(blocks) * int64(cfg.MeanIO)
+			var err error
+			if write {
+				_, err = data.WriteAt(wp, buf, 0, off, cfg.MeanIO, false)
+			} else {
+				_, _, err = data.ReadAt(wp, buf, 0, off, cfg.MeanIO, false)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			ops++
+		}
+	}
+
+	total := cfg.Readers + cfg.Writers + 1
+	parallel(p, "oltp", total, func(wp *des.Proc, i int) {
+		switch {
+		case i < cfg.Readers:
+			worker(wp, cfg.Seed*1000+uint64(i)+1, false)
+		case i < cfg.Readers+cfg.Writers:
+			worker(wp, cfg.Seed*2000+uint64(i)+1, true)
+		default:
+			// Log writer: small sequential synchronous appends.
+			buf := cl.NewBuffer(16 << 10)
+			off := int64(0)
+			for wp.Now() < deadline {
+				if _, err := logf.WriteAt(wp, buf, 0, off, 16<<10, true); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				off += 16 << 10
+				ops++
+			}
+		}
+	})
+	elapsed := p.Now() - start
+	res := OLTPResult{
+		Ops:          ops,
+		OpsPerSec:    float64(ops) / elapsed.Seconds(),
+		ClientCPUPct: cl.Node.CPU.Utilization() * 100,
+		ServerCPUPct: cluster.Server.Node.CPU.Utilization() * 100,
+	}
+	if ops > 0 {
+		res.ClientUSPerOp = cl.Node.CPU.BusySeconds() * 1e6 / float64(ops)
+		res.ServerUSPerOp = cluster.Server.Node.CPU.BusySeconds() * 1e6 / float64(ops)
+	}
+	return res, firstErr
+}
+
+// MultiClientConfig parameterizes the §5.3 scale-out read test: every
+// client first writes its own file (populating the server cache the way the
+// paper's IOzone sequence does), then all clients stream-read concurrently.
+type MultiClientConfig struct {
+	FileSize   int64 // per client
+	RecordSize int
+}
+
+// MultiClientResult is the aggregate outcome.
+type MultiClientResult struct {
+	AggregateReadMBps float64
+	PerClientMBps     []float64
+	ServerCPUPct      float64
+	CacheHitRatio     float64 // -1 for tmpfs
+	DiskUtilization   float64
+}
+
+// RunMultiClient executes the populate and read phases across all clients
+// of the cluster.
+func RunMultiClient(p *des.Proc, cluster *core.Cluster, cfg MultiClientConfig) (MultiClientResult, error) {
+	if cfg.RecordSize <= 0 {
+		cfg.RecordSize = 1 << 20
+	}
+	n := len(cluster.Clients)
+	files := make([]*core.File, n)
+	var firstErr error
+
+	// Populate phase: sequential, one client at a time (the paper creates
+	// the files before the measured read).
+	parallel(p, "populate", n, func(wp *des.Proc, i int) {
+		cl := cluster.Clients[i]
+		f, err := cl.Create(wp, fmt.Sprintf("stream.%d", i))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		files[i] = f
+		buf := cl.NewBuffer(cfg.RecordSize)
+		for off := int64(0); off < cfg.FileSize; off += int64(cfg.RecordSize) {
+			if _, err := f.WriteAt(wp, buf, 0, off, cfg.RecordSize, false); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	if firstErr != nil {
+		return MultiClientResult{}, firstErr
+	}
+
+	cluster.Server.Node.CPU.ResetWindow()
+	readStart := p.Now()
+	var diskBusyBefore float64
+	if disk := cluster.Server.Disk; disk != nil {
+		diskBusyBefore = disk.BusySeconds()
+	}
+	perClient := make([]float64, n)
+	var aggregate int64
+	parallel(p, "stream-read", n, func(wp *des.Proc, i int) {
+		cl := cluster.Clients[i]
+		buf := cl.NewBuffer(cfg.RecordSize)
+		start := wp.Now()
+		var moved int64
+		for off := int64(0); off < cfg.FileSize; off += int64(cfg.RecordSize) {
+			r, _, err := files[i].ReadAt(wp, buf, 0, off, cfg.RecordSize, true)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			moved += int64(r)
+		}
+		perClient[i] = stats.MBps(moved, (wp.Now() - start).Seconds())
+		aggregate += moved
+	})
+	elapsed := p.Now() - readStart
+
+	res := MultiClientResult{
+		AggregateReadMBps: stats.MBps(aggregate, elapsed.Seconds()),
+		PerClientMBps:     perClient,
+		ServerCPUPct:      cluster.Server.Node.CPU.Utilization() * 100,
+		CacheHitRatio:     -1,
+	}
+	if cache := cluster.Server.Cache; cache != nil {
+		if tot := cache.Hits + cache.Misses; tot > 0 {
+			res.CacheHitRatio = float64(cache.Hits) / float64(tot)
+		}
+	}
+	if disk := cluster.Server.Disk; disk != nil {
+		if window := (p.Now() - readStart).Seconds(); window > 0 {
+			res.DiskUtilization = (disk.BusySeconds() - diskBusyBefore) /
+				(float64(disk.Disks()) * window)
+		}
+	}
+	return res, firstErr
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

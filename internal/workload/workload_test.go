@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+)
+
+func smallCluster(tr core.Transport, design rpcrdma.Design, mode memreg.Mode, clients int) *core.Cluster {
+	return core.NewCluster(core.Config{
+		Profile:   profiles.LinuxSDR(),
+		Transport: tr,
+		Design:    design,
+		RegMode:   mode,
+		Clients:   clients,
+	})
+}
+
+func TestIOzoneProducesSaneResults(t *testing.T) {
+	cluster := smallCluster(core.TransportRDMA, rpcrdma.ReadWrite, memreg.Cache, 1)
+	var res IOzoneResult
+	cluster.Start("drv", func(p *des.Proc) {
+		var err error
+		res, err = RunIOzone(p, cluster, IOzoneConfig{
+			Threads: 2, FileSize: 4 << 20, RecordSize: 128 << 10, DirectIO: true,
+		})
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	cluster.Run()
+	if res.Write.MBps <= 0 || res.Read.MBps <= 0 {
+		t.Fatalf("non-positive throughput: %+v", res)
+	}
+	if res.Read.MBps > 950 || res.Write.MBps > 950 {
+		t.Fatalf("throughput exceeds the wire: %+v", res)
+	}
+	if res.Read.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.Read.ClientCPUPct < 0 || res.Read.ClientCPUPct > 100 {
+		t.Fatalf("CPU%% out of range: %v", res.Read.ClientCPUPct)
+	}
+}
+
+func TestIOzoneDeterministic(t *testing.T) {
+	run := func() IOzoneResult {
+		cluster := smallCluster(core.TransportRDMA, rpcrdma.ReadWrite, memreg.Regular, 1)
+		var res IOzoneResult
+		cluster.Start("drv", func(p *des.Proc) {
+			res, _ = RunIOzone(p, cluster, IOzoneConfig{
+				Threads: 4, FileSize: 2 << 20, RecordSize: 64 << 10,
+			})
+		})
+		cluster.Run()
+		return res
+	}
+	a, b := run(), run()
+	if a.Read.MBps != b.Read.MBps || a.Write.MBps != b.Write.MBps {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestIOzoneMoreThreadsNotSlower(t *testing.T) {
+	measure := func(threads int) float64 {
+		cluster := smallCluster(core.TransportRDMA, rpcrdma.ReadWrite, memreg.Regular, 1)
+		var res IOzoneResult
+		cluster.Start("drv", func(p *des.Proc) {
+			res, _ = RunIOzone(p, cluster, IOzoneConfig{
+				Threads: threads, FileSize: 4 << 20, RecordSize: 128 << 10,
+			})
+		})
+		cluster.Run()
+		return res.Read.MBps
+	}
+	one, four := measure(1), measure(4)
+	if four < one {
+		t.Fatalf("4 threads (%.1f) slower than 1 (%.1f)", four, one)
+	}
+}
+
+func TestOLTPRunsToDeadline(t *testing.T) {
+	cluster := smallCluster(core.TransportRDMA, rpcrdma.ReadWrite, memreg.Cache, 1)
+	var res OLTPResult
+	cluster.Start("drv", func(p *des.Proc) {
+		var err error
+		res, err = RunOLTP(p, cluster, OLTPConfig{
+			Readers: 8, Writers: 2, MeanIO: 64 << 10,
+			FileSize: 16 << 20, Duration: 50 * time.Millisecond, Seed: 3,
+		})
+		if err != nil {
+			t.Errorf("oltp: %v", err)
+		}
+	})
+	cluster.Run()
+	if res.Ops == 0 || res.OpsPerSec <= 0 {
+		t.Fatalf("no ops: %+v", res)
+	}
+	if res.ClientUSPerOp <= 0 || res.ServerUSPerOp <= 0 {
+		t.Fatalf("per-op CPU not measured: %+v", res)
+	}
+}
+
+func TestMultiClientTmpfsAggregates(t *testing.T) {
+	cluster := smallCluster(core.TransportRDMA, rpcrdma.ReadWrite, memreg.AllPhysical, 3)
+	var res MultiClientResult
+	cluster.Start("drv", func(p *des.Proc) {
+		var err error
+		res, err = RunMultiClient(p, cluster, MultiClientConfig{
+			FileSize: 8 << 20, RecordSize: 1 << 20,
+		})
+		if err != nil {
+			t.Errorf("multiclient: %v", err)
+		}
+	})
+	cluster.Run()
+	if len(res.PerClientMBps) != 3 {
+		t.Fatalf("per-client results = %d", len(res.PerClientMBps))
+	}
+	var sum float64
+	for _, v := range res.PerClientMBps {
+		if v <= 0 {
+			t.Fatalf("client with zero throughput: %+v", res)
+		}
+		sum += v
+	}
+	// Aggregate over shared wall-clock must not exceed the per-client sum.
+	if res.AggregateReadMBps > sum+1 {
+		t.Fatalf("aggregate %.1f exceeds per-client sum %.1f", res.AggregateReadMBps, sum)
+	}
+	if res.CacheHitRatio != -1 {
+		t.Fatalf("tmpfs back end should report no cache ratio, got %v", res.CacheHitRatio)
+	}
+}
+
+func TestMultiClientDiskReportsCacheAndDisk(t *testing.T) {
+	cluster := core.NewCluster(core.Config{
+		Profile:        profiles.LinuxDDR(),
+		Transport:      core.TransportRDMA,
+		Design:         rpcrdma.ReadWrite,
+		RegMode:        memreg.AllPhysical,
+		Clients:        2,
+		Backend:        core.BackendDisk,
+		PageCacheBytes: 8 << 20, // tiny: force disk traffic
+	})
+	var res MultiClientResult
+	cluster.Start("drv", func(p *des.Proc) {
+		res, _ = RunMultiClient(p, cluster, MultiClientConfig{
+			FileSize: 32 << 20, RecordSize: 1 << 20,
+		})
+	})
+	cluster.Run()
+	// Readahead converts per-page misses into hits even while thrashing, so
+	// the ratio is not near zero — but it must be measured and bounded.
+	if res.CacheHitRatio < 0 || res.CacheHitRatio > 0.95 {
+		t.Fatalf("hit ratio = %v, want a measured, sub-unity value", res.CacheHitRatio)
+	}
+	if res.DiskUtilization <= 0 {
+		t.Fatal("disk utilization not measured")
+	}
+	// Disk-bound aggregate: well under the wire.
+	if res.AggregateReadMBps > 300 {
+		t.Fatalf("aggregate %.1f should be disk-bound (~240 max)", res.AggregateReadMBps)
+	}
+}
+
+func TestWorkloadsOverTCPBaseline(t *testing.T) {
+	cluster := smallCluster(core.TransportIPoIB, rpcrdma.ReadWrite, memreg.Regular, 1)
+	var res IOzoneResult
+	cluster.Start("drv", func(p *des.Proc) {
+		res, _ = RunIOzone(p, cluster, IOzoneConfig{
+			Threads: 2, FileSize: 4 << 20, RecordSize: 128 << 10,
+		})
+	})
+	cluster.Run()
+	if res.Read.MBps <= 0 {
+		t.Fatalf("tcp baseline produced nothing: %+v", res)
+	}
+	// The TCP baseline must stay well under the RDMA ceiling.
+	if res.Read.MBps > 500 {
+		t.Fatalf("IPoIB read %.1f MB/s implausibly high", res.Read.MBps)
+	}
+}
+
+func TestMetadataWorkload(t *testing.T) {
+	for _, useCache := range []bool{false, true} {
+		cluster := smallCluster(core.TransportRDMA, rpcrdma.ReadWrite, memreg.Cache, 1)
+		var res MetadataResult
+		cluster.Start("drv", func(p *des.Proc) {
+			var err error
+			res, err = RunMetadata(p, cluster, MetadataConfig{
+				Threads: 2, Dirs: 3, Files: 8, Ops: 50, Seed: 5, UseCache: useCache,
+			})
+			if err != nil {
+				t.Errorf("metadata (cache=%v): %v", useCache, err)
+			}
+		})
+		cluster.Run()
+		if res.Ops != 100 || res.OpsPerSec <= 0 {
+			t.Fatalf("metadata (cache=%v): %+v", useCache, res)
+		}
+	}
+}
+
+func TestMetadataCacheImprovesOpRate(t *testing.T) {
+	measure := func(useCache bool) float64 {
+		cluster := smallCluster(core.TransportRDMA, rpcrdma.ReadWrite, memreg.Cache, 1)
+		var res MetadataResult
+		cluster.Start("drv", func(p *des.Proc) {
+			res, _ = RunMetadata(p, cluster, MetadataConfig{
+				Threads: 4, Dirs: 4, Files: 16, Ops: 100, Seed: 9, UseCache: useCache,
+			})
+		})
+		cluster.Run()
+		return res.OpsPerSec
+	}
+	plain, cached := measure(false), measure(true)
+	if cached <= plain {
+		t.Fatalf("metadata cache did not help: %.0f vs %.0f ops/s", plain, cached)
+	}
+}

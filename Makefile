@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: build test check vet race-runner bench bench-record
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: static analysis plus the full suite under the race
+# detector. The parallel sweep runner makes simulations genuinely
+# concurrent, so -race here guards the "no shared mutable state between
+# sims" invariant, not just test hygiene.
+check: vet
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# race-runner focuses the race detector on the concurrency boundary: the
+# sweep runner and the kernel it fans out, plus the experiments package
+# that drives them in parallel.
+race-runner:
+	$(GO) test -race ./internal/experiments/... ./internal/des/...
+
+# bench runs the DES kernel microbenchmarks (schedule->resume path,
+# queue/event/resource wakeups, timer heap) with allocation stats.
+bench:
+	$(GO) test ./internal/des/ -run NONE -bench BenchmarkKernel -benchmem
+
+# bench-record regenerates the wall-clock benchmark record for the figure
+# sweeps. Bump N in BENCH_N.json when recording a new point on the repo's
+# perf trajectory rather than overwriting history.
+bench-record:
+	$(GO) run ./cmd/nfsrdma-experiments -scale 8 -only fig5,fig7,fig8,fig9,fig10a \
+		-bench-out BENCH_1.json >/dev/null

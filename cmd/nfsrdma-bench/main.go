@@ -6,6 +6,12 @@
 //
 //	nfsrdma-bench -profile solaris-sdr -transport rdma -design read-write \
 //	              -reg cache -threads 8 -record 131072 -file 134217728 -direct
+//
+// With -sweep N the command instead sweeps thread counts 1..N as
+// independent simulations fanned across the machine's cores (see
+// internal/experiments/runner) and prints one row per point; -workers pins
+// the concurrency. The per-run inspection flags (-metrics, -latency,
+// -trace) apply only to single runs.
 package main
 
 import (
@@ -15,10 +21,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/experiments/runner"
 	"repro/internal/memreg"
 	"repro/internal/nfs3"
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -36,6 +44,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a full cluster metrics snapshot")
 	latency := flag.Bool("latency", false, "print per-procedure latency histograms")
 	trace := flag.Bool("trace", false, "stream protocol trace lines to stderr (very verbose)")
+	sweep := flag.Int("sweep", 0, "sweep thread counts 1..N in parallel instead of one run")
+	workers := flag.Int("workers", 0, "concurrent simulations for -sweep (0 = one per core)")
 	flag.Parse()
 
 	cfg := core.Config{Backend: core.BackendTmpfs}
@@ -82,6 +92,11 @@ func main() {
 	if *disk {
 		cfg.Backend = core.BackendDisk
 		cfg.PageCacheBytes = int64(*cacheGB)<<30 - 1<<30
+	}
+
+	if *sweep > 0 {
+		runSweep(cfg, *sweep, *workers, *record, *fileSize, *direct)
+		return
 	}
 
 	cluster := core.NewCluster(cfg)
@@ -131,6 +146,38 @@ func main() {
 			fmt.Printf("  %-12s %s\n", nfs3.ProcName(proc), h.Summary())
 		}
 	}
+}
+
+// runSweep fans thread counts 1..n out across the runner's worker pool,
+// each point an independent cluster, and prints the results in thread
+// order (results are keyed by point index, so the table is deterministic
+// at any worker count).
+func runSweep(cfg core.Config, n, workers, record int, fileSize int64, direct bool) {
+	if workers <= 0 {
+		workers = runner.Workers()
+	}
+	results := runner.MapWorkers(workers, n, func(i int) workload.IOzoneResult {
+		cluster := core.NewCluster(cfg)
+		var res workload.IOzoneResult
+		var err error
+		cluster.Start("bench", func(p *des.Proc) {
+			res, err = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+				Threads: i + 1, FileSize: fileSize, RecordSize: record, DirectIO: direct,
+			})
+		})
+		cluster.Run()
+		if err != nil {
+			fatal("sweep point %d failed: %v", i+1, err)
+		}
+		return res
+	})
+	fmt.Printf("profile=%s transport=%v design=%v reg=%v record=%d file=%d direct=%v workers=%d\n",
+		cfg.Profile.Name, cfg.Transport, cfg.Design, cfg.RegMode, record, fileSize, direct, workers)
+	t := stats.NewTable("", "threads", "write MB/s", "read MB/s", "client CPU %", "server CPU %")
+	for i, res := range results {
+		t.AddRow(i+1, res.Write.MBps, res.Read.MBps, res.Read.ClientCPUPct, res.Read.ServerCPUPct)
+	}
+	fmt.Print(t)
 }
 
 func fatal(format string, args ...any) {

@@ -4,32 +4,83 @@
 // Usage:
 //
 //	nfsrdma-experiments [-scale N] [-markdown] [-only fig5,fig7,...]
+//	                    [-workers N] [-bench-out BENCH.json] [-bench-note S]
 //
 // -scale divides workload sizes (1 = the paper's sizes; the default 4 keeps
 // a full run to a few minutes of wall-clock time). Results are simulated
 // time, so scale changes convergence detail, not the steady-state shape.
+//
+// Sweep points run as concurrent simulations, one worker per core by
+// default; -workers pins the count (1 forces the sequential reference
+// path). Results are deterministic and identical at any worker count.
+//
+// -bench-out runs the selected figures, times each sweep's wall clock, and
+// writes a JSON benchmark record (see README.md, "Benchmark records") —
+// the repo's perf trajectory is the series BENCH_1.json, BENCH_2.json, ...
+// committed over time.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
+// benchRecord is the schema of a BENCH_N.json file.
+type benchRecord struct {
+	Schema     int           `json:"schema"`
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      int           `json:"scale"`
+	Workers    int           `json:"workers"`
+	Note       string        `json:"note,omitempty"`
+	Figures    []figureBench `json:"figures"`
+}
+
+// figureBench is one timed sweep.
+type figureBench struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
 func main() {
 	scale := flag.Int("scale", 4, "workload scale divisor (1 = paper sizes)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
 	only := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations")
+	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per core, 1 = sequential)")
+	benchOut := flag.String("bench-out", "", "write a JSON wall-clock benchmark record to this file")
+	benchNote := flag.String("bench-note", "", "free-form annotation stored in the benchmark record")
 	flag.Parse()
+
+	experiments.SetParallelism(*workers)
 
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(k)] = true
+		}
+	}
+	known := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations"}
+	for k := range want {
+		found := false
+		for _, ok := range known {
+			if k == ok {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", k, strings.Join(known, ", "))
+			os.Exit(2)
 		}
 	}
 	sel := func(k string) bool { return len(want) == 0 || want[k] }
@@ -42,60 +93,87 @@ func main() {
 	}
 	s := experiments.Scale(*scale)
 
+	rec := &benchRecord{
+		Schema:     1,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Workers:    experiments.Parallelism(),
+		Note:       *benchNote,
+	}
+	timed := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		rec.Figures = append(rec.Figures, figureBench{
+			Name:   name,
+			WallMS: float64(time.Since(start).Microseconds()) / 1e3,
+		})
+	}
+
 	if sel("table1") {
 		emit(experiments.Table1())
 	}
 	if sel("fig5") || sel("fig6") {
-		r := experiments.RunFigure5and6(s)
-		if sel("fig5") {
-			emit(r.Read)
-		}
-		if sel("fig6") {
-			emit(r.Write)
-		}
-		emit(r.CPU)
+		timed("fig5+6", func() {
+			r := experiments.RunFigure5and6(s)
+			if sel("fig5") {
+				emit(r.Read)
+			}
+			if sel("fig6") {
+				emit(r.Write)
+			}
+			emit(r.CPU)
+		})
 	}
 	if sel("fig7") {
-		r := experiments.RunFigure7(s)
-		emit(r.Read)
-		emit(r.Write)
-		emit(r.CPU)
+		timed("fig7", func() {
+			r := experiments.RunFigure7(s)
+			emit(r.Read)
+			emit(r.Write)
+			emit(r.CPU)
+		})
 	}
 	if sel("fig8") {
-		emit(experiments.RunFigure8(s).Table)
+		timed("fig8", func() { emit(experiments.RunFigure8(s).Table) })
 	}
 	if sel("fig9") {
-		r := experiments.RunFigure9(s)
-		emit(r.Read)
-		emit(r.Write)
+		timed("fig9", func() {
+			r := experiments.RunFigure9(s)
+			emit(r.Read)
+			emit(r.Write)
+		})
 	}
 	if sel("fig10a") {
-		emit(experiments.RunFigure10(s, 4<<30, 8).Table)
+		timed("fig10a", func() { emit(experiments.RunFigure10(s, 4<<30, 8).Table) })
 	}
 	if sel("fig10b") {
-		emit(experiments.RunFigure10(s, 8<<30, 8).Table)
+		timed("fig10b", func() { emit(experiments.RunFigure10(s, 8<<30, 8).Table) })
 	}
 	if want["ablations"] {
-		emit(experiments.AblationORD(s))
-		emit(experiments.AblationPhysicalContiguity(s))
-		emit(experiments.AblationInlineThreshold(s))
-		emit(experiments.AblationInterruptCost(s))
-		emit(experiments.AblationCacheBound(s))
-		emit(experiments.AblationClientCache(s))
+		timed("ablations", func() {
+			emit(experiments.AblationORD(s))
+			emit(experiments.AblationPhysicalContiguity(s))
+			emit(experiments.AblationInlineThreshold(s))
+			emit(experiments.AblationInterruptCost(s))
+			emit(experiments.AblationCacheBound(s))
+			emit(experiments.AblationClientCache(s))
+		})
 	}
-	if len(want) > 0 {
-		known := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations"}
-		for k := range want {
-			found := false
-			for _, ok := range known {
-				if k == ok {
-					found = true
-				}
-			}
-			if !found {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", k, strings.Join(known, ", "))
-				os.Exit(2)
-			}
+
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+			os.Exit(1)
 		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d timed sweeps)\n", *benchOut, len(rec.Figures))
 	}
 }

@@ -12,10 +12,16 @@
 // for a virtual duration, Wait on an Event, or block on higher level
 // primitives (Resource, Queue) built from those two. Virtual time only
 // advances when every process is blocked.
+//
+// The hot path — schedule an event, pop it, resume the target process — is
+// allocation-free in steady state: events are typed records (kind + target
+// process) rather than closures, popped records are recycled through a free
+// list, and the pending set is an inlined 4-ary heap (see heap.go).
+// Different Sim instances share no state, so independent simulations may
+// run concurrently on separate goroutines (see internal/experiments/runner).
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -37,63 +43,25 @@ func (t Time) Micros() float64 { return float64(t) / 1e3 }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback.
-type event struct {
-	at    Time
-	seq   int64 // tie-breaker: schedule order
-	fn    func()
-	index int // heap index, -1 when popped/cancelled
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Sim is a single simulation instance. It is not safe for concurrent use by
 // multiple OS threads; all interaction must happen either before Run or from
-// within simulation processes.
+// within simulation processes. Distinct Sim instances are fully independent
+// and may run in parallel.
 type Sim struct {
 	now      Time
-	queue    eventHeap
+	queue    []*event // 4-ary heap, see heap.go
+	free     []*event // recycled event records
 	seq      int64
 	yield    chan struct{} // signalled when the running process parks or exits
 	stopped  bool
-	parked   []*Proc          // processes currently blocked inside the kernel
-	starting map[*Proc]*event // spawned but not yet started processes
+	parked   []*Proc // processes currently blocked inside the kernel
+	starting []*Proc // spawned but not yet started processes
 	trace    func(t Time, format string, args ...any)
 }
 
 // New creates an empty simulation positioned at virtual time zero.
 func New() *Sim {
-	return &Sim{
-		yield:    make(chan struct{}),
-		starting: make(map[*Proc]*event),
-	}
+	return &Sim{yield: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
@@ -103,23 +71,43 @@ func (s *Sim) Now() Time { return s.now }
 // tracing (the default).
 func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.trace = fn }
 
-// schedule enqueues fn to run at virtual time at (which must not be in the
-// past) and returns the event so it can be cancelled.
-func (s *Sim) schedule(at Time, fn func()) *event {
+// schedule enqueues a typed event firing at virtual time at (which must not
+// be in the past) targeting process p, and returns the event so it can be
+// cancelled. The record comes from the free list when possible.
+func (s *Sim) schedule(at Time, kind eventKind, p *Proc) *event {
 	if at < s.now {
 		panic(fmt.Sprintf("des: scheduling into the past: %v < %v", at, s.now))
 	}
-	e := &event{at: at, seq: s.seq, fn: fn}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = at
+	e.seq = s.seq
+	e.kind = kind
+	e.proc = p
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.heapPush(e)
 	return e
+}
+
+// recycle returns a popped or cancelled event record to the free list,
+// dropping its process reference.
+func (s *Sim) recycle(e *event) {
+	e.proc = nil
+	s.free = append(s.free, e)
 }
 
 // cancel removes a pending event. Cancelling an already-fired event is a
 // no-op.
 func (s *Sim) cancel(e *event) {
 	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+		s.heapRemove(e.index)
+		s.recycle(e)
 	}
 }
 
@@ -142,9 +130,17 @@ func (s *Sim) RunUntil(limit Time) Time {
 		if e.at > limit {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.heapPop()
 		s.now = e.at
-		e.fn()
+		p, kind := e.proc, e.kind
+		s.recycle(e)
+		switch kind {
+		case evSleep:
+			s.unpark(p)
+		case evStart:
+			s.removeStarting(p)
+		}
+		s.resumeProc(p)
 	}
 	s.unwindAll()
 	return s.now
@@ -152,21 +148,24 @@ func (s *Sim) RunUntil(limit Time) Time {
 
 // unwindAll unblocks every process that is still parked (or never started)
 // when the run loop exits, so their goroutines terminate. Each such Proc
-// reports Abandoned.
+// reports Abandoned. Unwinding order is deterministic: most recently parked
+// first, then most recently spawned.
 func (s *Sim) unwindAll() {
 	for len(s.parked) > 0 || len(s.starting) > 0 {
 		var p *Proc
 		if n := len(s.parked); n > 0 {
 			p = s.parked[n-1]
+			s.parked[n-1] = nil
 			s.parked = s.parked[:n-1]
 			p.parkedIdx = -1
 		} else {
-			for q, ev := range s.starting {
-				p = q
-				s.cancel(ev)
-				break
-			}
-			delete(s.starting, p)
+			n := len(s.starting)
+			p = s.starting[n-1]
+			s.starting[n-1] = nil
+			s.starting = s.starting[:n-1]
+			s.cancel(p.startEv)
+			p.startIdx = -1
+			p.startEv = nil
 		}
 		p.abandoned = true
 		p.resume <- struct{}{}
@@ -180,7 +179,9 @@ type Proc struct {
 	name      string
 	resume    chan struct{}
 	abandoned bool
-	parkedIdx int // index into sim.parked, -1 when running
+	parkedIdx int    // index into sim.parked, -1 when running
+	startIdx  int    // index into sim.starting, -1 once started
+	startEv   *event // pending start event, nil once started
 }
 
 // Sim returns the simulation this process belongs to.
@@ -232,12 +233,26 @@ func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	ev := s.schedule(at, func() {
-		delete(s.starting, p)
-		s.resumeProc(p)
-	})
-	s.starting[p] = ev
+	p.startEv = s.schedule(at, evStart, p)
+	p.startIdx = len(s.starting)
+	s.starting = append(s.starting, p)
 	return p
+}
+
+// removeStarting clears p's pending-start registration when its start event
+// fires.
+func (s *Sim) removeStarting(p *Proc) {
+	i := p.startIdx
+	if i < 0 {
+		return
+	}
+	last := len(s.starting) - 1
+	s.starting[i] = s.starting[last]
+	s.starting[i].startIdx = i
+	s.starting[last] = nil
+	s.starting = s.starting[:last]
+	p.startIdx = -1
+	p.startEv = nil
 }
 
 // resumeProc transfers control to p and waits for it to park or exit.
@@ -271,8 +286,16 @@ func (s *Sim) unpark(p *Proc) {
 	last := len(s.parked) - 1
 	s.parked[i] = s.parked[last]
 	s.parked[i].parkedIdx = i
+	s.parked[last] = nil
 	s.parked = s.parked[:last]
 	p.parkedIdx = -1
+}
+
+// wake unparks p and schedules its resume at the current instant. It is the
+// single wake-up primitive every synchronization object uses.
+func (s *Sim) wake(p *Proc) {
+	s.unpark(p)
+	s.schedule(s.now, evResume, p)
 }
 
 // abandonedPanic unwinds a process goroutine whose simulation has stopped.
@@ -285,10 +308,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	s := p.sim
-	s.schedule(s.now+Time(d), func() {
-		s.unpark(p)
-		s.resumeProc(p)
-	})
+	s.schedule(s.now+Time(d), evSleep, p)
 	p.park()
 }
 

@@ -31,10 +31,9 @@ func (e *Event) Fire(value any) {
 	e.fired = true
 	e.value = value
 	s := e.sim
-	for _, p := range e.waiters {
-		p := p
-		s.unpark(p)
-		s.schedule(s.now, func() { s.resumeProc(p) })
+	for i, p := range e.waiters {
+		s.wake(p)
+		e.waiters[i] = nil
 	}
 	e.waiters = nil
 }

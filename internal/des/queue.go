@@ -3,11 +3,15 @@ package des
 // Queue is an unbounded FIFO mailbox connecting simulated processes.
 // Put never blocks; Get blocks while the queue is empty. Multiple getters
 // are served in the order they began waiting.
+//
+// Items and waiting getters live in ring buffers, so popping the front
+// neither pins the backing array nor retains references to delivered items
+// (the old q.items[1:] re-slicing did both).
 type Queue struct {
 	sim     *Sim
 	name    string
-	items   []any
-	getters []*Proc
+	items   Ring[any]
+	getters Ring[*Proc]
 	closed  bool
 }
 
@@ -15,14 +19,14 @@ type Queue struct {
 func NewQueue(s *Sim, name string) *Queue { return &Queue{sim: s, name: name} }
 
 // Len returns the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.items.Len() }
 
 // Put appends v and wakes the longest-waiting getter, if any.
 func (q *Queue) Put(v any) {
 	if q.closed {
 		panic("des: put on closed queue " + q.name)
 	}
-	q.items = append(q.items, v)
+	q.items.Push(v)
 	q.wakeOne()
 }
 
@@ -32,43 +36,35 @@ func (q *Queue) Close() {
 	q.closed = true
 	// Wake all getters; they will either receive remaining items or observe
 	// the close.
-	for len(q.getters) > 0 {
+	for q.getters.Len() > 0 {
 		q.wakeOne()
 	}
 }
 
 func (q *Queue) wakeOne() {
-	if len(q.getters) == 0 {
+	if q.getters.Len() == 0 {
 		return
 	}
-	p := q.getters[0]
-	q.getters = q.getters[1:]
-	s := q.sim
-	s.unpark(p)
-	s.schedule(s.now, func() { s.resumeProc(p) })
+	q.sim.wake(q.getters.Pop())
 }
 
 // Get removes and returns the oldest item. ok is false if the queue is
 // closed and empty.
 func (q *Queue) Get(p *Proc) (v any, ok bool) {
-	for len(q.items) == 0 {
+	for q.items.Len() == 0 {
 		if q.closed {
 			return nil, false
 		}
-		q.getters = append(q.getters, p)
+		q.getters.Push(p)
 		p.park()
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop(), true
 }
 
 // TryGet removes and returns the oldest item without blocking.
 func (q *Queue) TryGet() (v any, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
 		return nil, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop(), true
 }

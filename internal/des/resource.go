@@ -11,7 +11,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*resWaiter
+	waiters  Ring[resWaiter]
 
 	// busy accounting: integral of inUse over time, for utilization reports.
 	busyIntegral float64 // unit-seconds
@@ -50,12 +50,12 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.capacity {
 		panic("des: invalid acquire count for resource " + r.name)
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.Len() == 0 && r.inUse+n <= r.capacity {
 		r.accumulate()
 		r.inUse += n
 		return
 	}
-	r.waiters = append(r.waiters, &resWaiter{proc: p, n: n})
+	r.waiters.Push(resWaiter{proc: p, n: n})
 	p.park()
 }
 
@@ -65,7 +65,7 @@ func (r *Resource) TryAcquire(n int) bool {
 	if n <= 0 || n > r.capacity {
 		panic("des: invalid acquire count for resource " + r.name)
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.waiters.Len() == 0 && r.inUse+n <= r.capacity {
 		r.accumulate()
 		r.inUse += n
 		return true
@@ -81,16 +81,14 @@ func (r *Resource) Release(n int) {
 	r.accumulate()
 	r.inUse -= n
 	s := r.sim
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.waiters.Len() > 0 {
+		w := r.waiters.Peek()
 		if r.inUse+w.n > r.capacity {
 			break // strict FIFO: do not let later small requests overtake
 		}
-		r.waiters = r.waiters[1:]
+		r.waiters.Pop()
 		r.inUse += w.n
-		p := w.proc
-		s.unpark(p)
-		s.schedule(s.now, func() { s.resumeProc(p) })
+		s.wake(w.proc)
 	}
 }
 

@@ -1,0 +1,71 @@
+package des
+
+// Ring is a growable FIFO ring buffer with a power-of-two backing array.
+//
+// It replaces the `q = q[1:]` front-pop idiom used by queues and waiter
+// lists, which has two defects at scale: every pop is O(1) but the backing
+// array's dead prefix can never be reclaimed while the slice lives, and the
+// popped slots keep their element references alive, pinning arbitrarily
+// large object graphs. Ring pops zero the vacated slot and reuse the array
+// circularly, so steady-state operation allocates nothing and retains
+// nothing.
+//
+// The zero value is an empty ring ready for use. Ring is not safe for
+// concurrent use; like everything in this package it relies on the
+// kernel's one-at-a-time execution discipline.
+type Ring[T any] struct {
+	buf  []T // len(buf) is always zero or a power of two
+	head int // index of the oldest element
+	n    int // number of live elements
+}
+
+// Len returns the number of buffered elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends v at the tail.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the oldest element, zeroing its slot so the ring
+// drops its reference. It panics on an empty ring.
+func (r *Ring[T]) Pop() T {
+	if r.n == 0 {
+		panic("des: Pop from empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// Peek returns the oldest element without removing it. It panics on an
+// empty ring.
+func (r *Ring[T]) Peek() T {
+	if r.n == 0 {
+		panic("des: Peek at empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// grow doubles the backing array (minimum 8) and linearizes the live
+// elements to the front.
+func (r *Ring[T]) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]T, size)
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&mask]
+	}
+	r.buf = nb
+	r.head = 0
+}

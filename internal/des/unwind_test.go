@@ -1,0 +1,139 @@
+package des
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleGoroutines polls until the goroutine count drops to want or a
+// deadline passes; unwound process goroutines exit asynchronously after the
+// final scheduler handshake, so an immediate count can transiently read
+// high.
+func settleGoroutines(t *testing.T, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRunUntilUnwindsAllBlockedShapes stops a simulation while processes
+// are blocked in every way the kernel knows — parked on an event, parked on
+// a sleep, queue-blocked, resource-blocked, and spawned-but-never-started —
+// and asserts that all of their goroutines terminate and their deferred
+// cleanup runs.
+func TestRunUntilUnwindsAllBlockedShapes(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New()
+	ev := NewEvent(s)  // never fired
+	q := NewQueue(s, "q") // never put
+	r := NewResource(s, "r", 1)
+
+	cleaned := make(map[string]bool)
+	shape := func(name string, fn func(p *Proc)) {
+		s.Spawn(name, func(p *Proc) {
+			defer func() { cleaned[name] = true }()
+			fn(p)
+			t.Errorf("%s resumed normally after stop", name)
+		})
+	}
+	shape("event-parked", func(p *Proc) { ev.Wait(p) })
+	shape("sleeper", func(p *Proc) { p.Sleep(time.Hour) })
+	shape("queue-blocked", func(p *Proc) { q.Get(p) })
+	shape("holder-then-sleep", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(time.Hour)
+	})
+	shape("resource-blocked", func(p *Proc) {
+		p.Sleep(1) // let holder-then-sleep take the unit first
+		r.Acquire(p, 1)
+	})
+	neverStarted := false
+	s.SpawnAt(Time(time.Hour), "never-started", func(p *Proc) { neverStarted = true })
+
+	s.RunUntil(Time(time.Minute))
+
+	for _, name := range []string{"event-parked", "sleeper", "queue-blocked", "holder-then-sleep", "resource-blocked"} {
+		if !cleaned[name] {
+			t.Errorf("%s: deferred cleanup did not run", name)
+		}
+	}
+	if neverStarted {
+		t.Error("never-started process body ran")
+	}
+	if after := settleGoroutines(t, before); after > before {
+		t.Errorf("goroutine leak: %d before, %d after unwind", before, after)
+	}
+}
+
+// TestStopMidRunLeaksNothing stops from inside an event while other
+// processes are parked and pending events remain queued.
+func TestStopMidRunLeaksNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New()
+	for i := 0; i < 50; i++ {
+		s.Spawn("sleeper", func(p *Proc) {
+			for {
+				p.Sleep(time.Millisecond)
+			}
+		})
+	}
+	s.Spawn("stopper", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		s.Stop()
+	})
+	s.Run()
+	if after := settleGoroutines(t, before); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestAbandonedReportedOnUnwind verifies processes observe Abandoned from
+// deferred cleanup when the run loop exits with them parked.
+func TestAbandonedReportedOnUnwind(t *testing.T) {
+	s := New()
+	var sawAbandoned bool
+	s.Spawn("stuck", func(p *Proc) {
+		defer func() { sawAbandoned = p.Abandoned() }()
+		NewEvent(s).Wait(p)
+	})
+	s.Spawn("stopper", func(p *Proc) { s.Stop() })
+	s.Run()
+	if !sawAbandoned {
+		t.Fatal("parked process did not report Abandoned after unwind")
+	}
+}
+
+// TestUnwindIsDeterministic runs the same stop-heavy simulation twice and
+// asserts the unwind visits processes in the same order (the seed kernel
+// unwound never-started processes in map iteration order).
+func TestUnwindIsDeterministic(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var order []string
+		for i := 0; i < 8; i++ {
+			name := string(rune('a' + i))
+			s.SpawnAt(Time(time.Hour), name, func(p *Proc) {})
+			s.Spawn(name+"-parked", func(p *Proc) {
+				defer func() { order = append(order, p.Name()) }()
+				NewEvent(s).Wait(p)
+			})
+		}
+		s.Spawn("stopper", func(p *Proc) { p.Sleep(1); s.Stop() })
+		s.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 8 {
+		t.Fatalf("unwound %d parked processes, want 8", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("unwind order diverged:\n%v\n%v", a, b)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/experiments/runner"
 	"repro/internal/memreg"
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
@@ -16,6 +17,8 @@ import (
 // but does not sweep: the IRD/ORD limit, physical-memory contiguity under
 // all-physical registration, the inline threshold, and the per-interrupt
 // cost behind the Read-Write design's interrupt-elimination argument.
+// Like the figures, every ablation fans its independent sweep points out
+// through internal/experiments/runner with index-keyed results.
 
 // AblationORD sweeps the outstanding-RDMA-Read limit (the Mellanox HCAs
 // allow 8; §4.1 blames the limit for Read-Read serialization and Fig. 9b
@@ -26,21 +29,27 @@ func AblationORD(scale Scale) *stats.Table {
 	t := stats.NewTable("Ablation: IRD/ORD limit (8 threads, 128 KiB records, Linux profile)",
 		"maxORD", "RW write MB/s (all-physical)", "RR read MB/s")
 	fileSize := scale.div64(64 << 20)
-	for _, ord := range []int{1, 2, 4, 8, 16, 32} {
+	ords := []int{1, 2, 4, 8, 16, 32}
+	// Two configurations per ORD value: the write-side (Read-Write design,
+	// all-physical) and the read-side (Read-Read, regular registration).
+	pts := runner.Grid(len(ords), 2)
+	results := pmap(len(pts), func(i int) workload.IOzoneResult {
+		c := pts[i]
 		prof := profiles.LinuxSDR()
-		prof.Client.MaxORD = ord
-		prof.Server.MaxORD = ord
-		// All-physical fragments records into several read segments,
-		// pressing the limit hardest.
-		w := runIOzone(core.Config{
-			Profile: prof, Transport: core.TransportRDMA,
-			Design: rpcrdma.ReadWrite, RegMode: memreg.AllPhysical,
-		}, workload.IOzoneConfig{Threads: 8, FileSize: fileSize, RecordSize: 128 << 10})
-		r := runIOzone(core.Config{
-			Profile: prof, Transport: core.TransportRDMA,
-			Design: rpcrdma.ReadRead, RegMode: memreg.Regular,
-		}, workload.IOzoneConfig{Threads: 8, FileSize: fileSize, RecordSize: 128 << 10})
-		t.AddRow(ord, w.Write.MBps, r.Read.MBps)
+		prof.Client.MaxORD = ords[c[0]]
+		prof.Server.MaxORD = ords[c[0]]
+		cfg := core.Config{Profile: prof, Transport: core.TransportRDMA}
+		if c[1] == 0 {
+			// All-physical fragments records into several read segments,
+			// pressing the limit hardest.
+			cfg.Design, cfg.RegMode = rpcrdma.ReadWrite, memreg.AllPhysical
+		} else {
+			cfg.Design, cfg.RegMode = rpcrdma.ReadRead, memreg.Regular
+		}
+		return runIOzone(cfg, workload.IOzoneConfig{Threads: 8, FileSize: fileSize, RecordSize: 128 << 10})
+	})
+	for i, ord := range ords {
+		t.AddRow(ord, results[i*2].Write.MBps, results[i*2+1].Read.MBps)
 	}
 	return t
 }
@@ -53,27 +62,33 @@ func AblationPhysicalContiguity(scale Scale) *stats.Table {
 	t := stats.NewTable("Ablation: physical contiguity under all-physical registration (8 threads, 128 KiB records)",
 		"mean run", "write MB/s", "read MB/s", "reads/op")
 	fileSize := scale.div64(64 << 20)
-	for _, run := range []int{4 << 10, 16 << 10, 32 << 10, 128 << 10, 1 << 20} {
+	runs := []int{4 << 10, 16 << 10, 32 << 10, 128 << 10, 1 << 20}
+	type contigResult struct {
+		res        workload.IOzoneResult
+		readsPerOp float64
+	}
+	results := pmap(len(runs), func(i int) contigResult {
 		prof := profiles.LinuxSDR()
-		prof.Client.MeanPhysRun = run
-		prof.Server.MeanPhysRun = run
-		cfg := core.Config{
+		prof.Client.MeanPhysRun = runs[i]
+		prof.Server.MeanPhysRun = runs[i]
+		cluster := core.NewCluster(core.Config{
 			Profile: prof, Transport: core.TransportRDMA,
 			Design: rpcrdma.ReadWrite, RegMode: memreg.AllPhysical,
-		}
-		cluster := core.NewCluster(cfg)
-		var res workload.IOzoneResult
+		})
+		var out contigResult
 		cluster.Start("drv", func(p *des.Proc) {
-			res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+			out.res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
 				Threads: 8, FileSize: fileSize, RecordSize: 128 << 10,
 			})
 		})
 		cluster.Run()
-		readsPerOp := 0.0
 		if reqs := cluster.Server.RDMA.Requests; reqs > 0 {
-			readsPerOp = float64(cluster.Server.RDMA.BulkReads) / float64(reqs) * 2
+			out.readsPerOp = float64(cluster.Server.RDMA.BulkReads) / float64(reqs) * 2
 		}
-		t.AddRow(memFmt(run), res.Write.MBps, res.Read.MBps, readsPerOp)
+		return out
+	})
+	for i, run := range runs {
+		t.AddRow(memFmt(run), results[i].res.Write.MBps, results[i].res.Read.MBps, results[i].readsPerOp)
 	}
 	return t
 }
@@ -85,23 +100,32 @@ func AblationInlineThreshold(scale Scale) *stats.Table {
 	t := stats.NewTable("Ablation: inline threshold (8 threads, 128 KiB records, Solaris profile)",
 		"threshold", "read MB/s", "long calls", "long replies")
 	fileSize := scale.div64(64 << 20)
-	for _, thresh := range []int{128, 256, 1024, 4096} {
+	thresholds := []int{128, 256, 1024, 4096}
+	type inlineResult struct {
+		res                    workload.IOzoneResult
+		longCalls, longReplies int64
+	}
+	results := pmap(len(thresholds), func(i int) inlineResult {
 		prof := profiles.SolarisSDR()
-		prof.RDMAClient.InlineThreshold = thresh
-		prof.RDMAServer.InlineThreshold = thresh
-		cfg := core.Config{
+		prof.RDMAClient.InlineThreshold = thresholds[i]
+		prof.RDMAServer.InlineThreshold = thresholds[i]
+		cluster := core.NewCluster(core.Config{
 			Profile: prof, Transport: core.TransportRDMA,
 			Design: rpcrdma.ReadWrite, RegMode: memreg.Cache,
-		}
-		cluster := core.NewCluster(cfg)
-		var res workload.IOzoneResult
+		})
+		var out inlineResult
 		cluster.Start("drv", func(p *des.Proc) {
-			res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+			out.res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
 				Threads: 8, FileSize: fileSize, RecordSize: 128 << 10, DirectIO: true,
 			})
 		})
 		cluster.Run()
-		t.AddRow(thresh, res.Read.MBps, cluster.Server.RDMA.LongCalls, cluster.Server.RDMA.LongReplies)
+		out.longCalls = cluster.Server.RDMA.LongCalls
+		out.longReplies = cluster.Server.RDMA.LongReplies
+		return out
+	})
+	for i, thresh := range thresholds {
+		t.AddRow(thresh, results[i].res.Read.MBps, results[i].longCalls, results[i].longReplies)
 	}
 	return t
 }
@@ -114,20 +138,23 @@ func AblationInterruptCost(scale Scale) *stats.Table {
 	t := stats.NewTable("Ablation: interrupt cost vs design gap (1 thread, 128 KiB records, Solaris profile)",
 		"intr cost", "RR read MB/s", "RW read MB/s", "RW gain %")
 	fileSize := scale.div64(32 << 20)
-	for _, cost := range []des.Duration{0, 3 * time.Microsecond, 6 * time.Microsecond, 12 * time.Microsecond, 24 * time.Microsecond} {
-		row := map[rpcrdma.Design]float64{}
-		for _, d := range []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite} {
-			prof := profiles.SolarisSDR()
-			prof.Client.InterruptCost = cost
-			prof.Server.InterruptCost = cost
-			res := runIOzone(core.Config{
-				Profile: prof, Transport: core.TransportRDMA,
-				Design: d, RegMode: memreg.Regular,
-			}, workload.IOzoneConfig{Threads: 1, FileSize: fileSize, RecordSize: 128 << 10, DirectIO: true})
-			row[d] = res.Read.MBps
-		}
-		gain := row[rpcrdma.ReadWrite]/row[rpcrdma.ReadRead]*100 - 100
-		t.AddRow(cost, row[rpcrdma.ReadRead], row[rpcrdma.ReadWrite], gain)
+	costs := []des.Duration{0, 3 * time.Microsecond, 6 * time.Microsecond, 12 * time.Microsecond, 24 * time.Microsecond}
+	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
+	pts := runner.Grid(len(costs), len(designs))
+	results := pmap(len(pts), func(i int) float64 {
+		c := pts[i]
+		prof := profiles.SolarisSDR()
+		prof.Client.InterruptCost = costs[c[0]]
+		prof.Server.InterruptCost = costs[c[0]]
+		res := runIOzone(core.Config{
+			Profile: prof, Transport: core.TransportRDMA,
+			Design: designs[c[1]], RegMode: memreg.Regular,
+		}, workload.IOzoneConfig{Threads: 1, FileSize: fileSize, RecordSize: 128 << 10, DirectIO: true})
+		return res.Read.MBps
+	})
+	for i, cost := range costs {
+		rr, rw := results[i*2], results[i*2+1]
+		t.AddRow(cost, rr, rw, rw/rr*100-100)
 	}
 	return t
 }
@@ -139,22 +166,30 @@ func AblationCacheBound(scale Scale) *stats.Table {
 	t := stats.NewTable("Ablation: registration cache bound (8 threads, 128 KiB records, Solaris profile)",
 		"cache bytes", "read MB/s", "hits", "misses", "evictions")
 	fileSize := scale.div64(64 << 20)
-	for _, bound := range []int64{256 << 10, 1 << 20, 4 << 20, 64 << 20} {
-		prof := profiles.SolarisSDR()
+	bounds := []int64{256 << 10, 1 << 20, 4 << 20, 64 << 20}
+	type cacheResult struct {
+		res workload.IOzoneResult
+		st  memreg.Stats
+	}
+	results := pmap(len(bounds), func(i int) cacheResult {
 		cluster := core.NewCluster(core.Config{
-			Profile: prof, Transport: core.TransportRDMA,
+			Profile: profiles.SolarisSDR(), Transport: core.TransportRDMA,
 			Design: rpcrdma.ReadWrite, RegMode: memreg.Cache,
-			CacheMaxBytes: bound,
+			CacheMaxBytes: bounds[i],
 		})
-		var res workload.IOzoneResult
+		var out cacheResult
 		cluster.Start("drv", func(p *des.Proc) {
-			res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+			out.res, _ = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
 				Threads: 8, FileSize: fileSize, RecordSize: 128 << 10,
 			})
 		})
 		cluster.Run()
-		st := cluster.Server.Mgr.Stats()
-		t.AddRow(memFmt(int(bound)), res.Read.MBps, st.CacheHits, st.CacheMisses, st.Evictions)
+		out.st = cluster.Server.Mgr.Stats()
+		return out
+	})
+	for i, bound := range bounds {
+		r := results[i]
+		t.AddRow(memFmt(int(bound)), r.res.Read.MBps, r.st.CacheHits, r.st.CacheMisses, r.st.Evictions)
 	}
 	return t
 }
@@ -195,7 +230,7 @@ func AblationClientCache(scale Scale) *stats.Table {
 	workingSet := scale.div64(8 << 20)
 	// Sweep relative to the working set: an undersized cache thrashes under
 	// cyclic re-reads (LRU worst case), a covering cache eliminates traffic.
-	for _, frac := range []struct {
+	fracs := []struct {
 		label string
 		bytes int64
 	}{
@@ -203,15 +238,19 @@ func AblationClientCache(scale Scale) *stats.Table {
 		{"ws/4", workingSet / 4},
 		{"ws/2", workingSet / 2},
 		{"2*ws", 2 * workingSet},
-	} {
-		cacheBytes := frac.bytes
+	}
+	type clientCacheResult struct {
+		reads int64
+		ratio float64
+	}
+	results := pmap(len(fracs), func(i int) clientCacheResult {
+		cacheBytes := fracs[i].bytes
 		cluster := core.NewCluster(core.Config{
 			Profile: profiles.LinuxSDR(), Transport: core.TransportRDMA,
 			Design: rpcrdma.ReadWrite, RegMode: memreg.Cache,
 		})
 		cl := cluster.Clients[0]
-		var reads int64
-		var ratio float64
+		var out clientCacheResult
 		cluster.Start("drv", func(p *des.Proc) {
 			var dc *core.DataCache
 			if cacheBytes > 0 {
@@ -234,15 +273,18 @@ func AblationClientCache(scale Scale) *stats.Table {
 					}
 				}
 			}
-			reads = cluster.Server.NFS.Ops[6] - before
+			out.reads = cluster.Server.NFS.Ops[6] - before
 			if dc != nil {
 				if tot := dc.Hits + dc.Misses; tot > 0 {
-					ratio = float64(dc.Hits) / float64(tot)
+					out.ratio = float64(dc.Hits) / float64(tot)
 				}
 			}
 		})
 		cluster.Run()
-		t.AddRow(frac.label, reads, ratio)
+		return out
+	})
+	for i, frac := range fracs {
+		t.AddRow(frac.label, results[i].reads, results[i].ratio)
 	}
 	return t
 }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+	"repro/internal/workload"
+)
+
+// runFig5Point runs one representative Figure 5 sweep point (4 threads,
+// 128 KiB records, Read-Write design, direct I/O) with the given seed and
+// returns the final virtual time plus a digest of every observable output:
+// the structured result, the server's RDMA counters, and the registration
+// statistics.
+func runFig5Point(seed uint64) (des.Time, string) {
+	cluster := core.NewCluster(core.Config{
+		Profile:   profiles.SolarisSDR(),
+		Transport: core.TransportRDMA,
+		Design:    rpcrdma.ReadWrite,
+		RegMode:   memreg.Regular,
+		Seed:      seed,
+	})
+	var res workload.IOzoneResult
+	var err error
+	cluster.Start("iozone-driver", func(p *des.Proc) {
+		res, err = workload.RunIOzone(p, cluster, workload.IOzoneConfig{
+			Threads: 4, FileSize: (128 << 20) / int64(testScale), RecordSize: 128 << 10, DirectIO: true,
+		})
+	})
+	end := cluster.Run()
+	if err != nil {
+		panic(fmt.Sprintf("determinism test point failed: %v", err))
+	}
+	rdma := cluster.Server.RDMA
+	digest := fmt.Sprintf("%+v|req=%d reads=%d writes=%d lc=%d lr=%d|%+v",
+		res, rdma.Requests, rdma.BulkReads, rdma.BulkWrites, rdma.LongCalls, rdma.LongReplies,
+		cluster.Server.Mgr.Stats())
+	return end, digest
+}
+
+// TestSameSeedSameResults is the determinism regression test for the typed
+// event kernel: two runs of the same sweep point with the same seed must
+// produce bit-identical virtual end times and stats digests.
+func TestSameSeedSameResults(t *testing.T) {
+	end1, dig1 := runFig5Point(7)
+	end2, dig2 := runFig5Point(7)
+	if end1 != end2 {
+		t.Fatalf("virtual end times diverged: %v vs %v", end1, end2)
+	}
+	if dig1 != dig2 {
+		t.Fatalf("stats digests diverged:\n%s\n%s", dig1, dig2)
+	}
+	// Sanity: a different seed must actually reach this code path with a
+	// meaningful digest (non-empty, non-trivial), or the assertions above
+	// prove nothing.
+	if len(dig1) < 20 {
+		t.Fatalf("suspiciously small digest %q", dig1)
+	}
+}
+
+// TestSequentialAndParallelSweepsIdentical runs a full Figure 5/6 sweep
+// through the sequential reference path and through the parallel runner and
+// asserts byte-identical structured results and rendered tables — the
+// determinism contract of internal/experiments/runner.
+func TestSequentialAndParallelSweepsIdentical(t *testing.T) {
+	digest := func(r *Figure5and6) string {
+		return fmt.Sprintf("%+v\n%s%s%s", r.Points, r.Read, r.Write, r.CPU)
+	}
+
+	SetParallelism(1)
+	seq := RunFigure5and6(testScale)
+	SetParallelism(8)
+	par := RunFigure5and6(testScale)
+	SetParallelism(0) // restore the per-core default for other tests
+
+	if ds, dp := digest(seq), digest(par); ds != dp {
+		t.Fatalf("sequential and parallel sweeps diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", ds, dp)
+	}
+}

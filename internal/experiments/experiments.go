@@ -3,14 +3,24 @@
 // corresponding parameter sweep and returns both structured series (for
 // assertions in benchmarks/tests) and formatted tables mirroring the
 // paper's axes.
+//
+// Sweep points are independent simulations (each builds its own des.Sim,
+// fabric, and RNGs from the point's configuration alone), so every FigureN
+// fans its points out across the machine's cores through
+// internal/experiments/runner. Results are keyed by point index, never by
+// completion order: a sweep run sequentially and one run on 64 workers
+// produce byte-identical structured results and tables. SetParallelism
+// pins the worker count (1 forces the sequential reference path).
 package experiments
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/experiments/runner"
 	"repro/internal/memreg"
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
@@ -27,6 +37,28 @@ func (s Scale) div64(v int64) int64 {
 		return v
 	}
 	return v / int64(s)
+}
+
+// sweepWorkers overrides the sweep worker count; 0 means one per core.
+var sweepWorkers atomic.Int64
+
+// SetParallelism pins the number of concurrent simulations per sweep.
+// n <= 0 restores the default (one worker per core); n == 1 forces the
+// sequential reference path. Results are identical either way — only
+// wall-clock time changes.
+func SetParallelism(n int) { sweepWorkers.Store(int64(n)) }
+
+// Parallelism reports the effective sweep worker count.
+func Parallelism() int {
+	if w := int(sweepWorkers.Load()); w > 0 {
+		return w
+	}
+	return runner.Workers()
+}
+
+// pmap fans fn across the configured number of sweep workers.
+func pmap[T any](n int, fn func(i int) T) []T {
+	return runner.MapWorkers(Parallelism(), n, fn)
 }
 
 // IOzonePoint is one measured IOzone configuration.
@@ -71,41 +103,38 @@ func RunFigure5and6(scale Scale) *Figure5and6 {
 		CPU:   stats.NewTable("Figures 5/6: client CPU utilization, read phase (%)", "threads", "Read-Read", "Read-Write"),
 	}
 	fileSize := scale.div64(128 << 20)
-	for threads := 1; threads <= 8; threads++ {
-		row := map[string]workload.IOzoneResult{}
-		for _, rec := range []int{128 << 10, 1 << 20} {
-			for _, design := range []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite} {
-				cfg := core.Config{
-					Profile:   profiles.SolarisSDR(),
-					Transport: core.TransportRDMA,
-					Design:    design,
-					RegMode:   memreg.Regular,
-				}
-				res := runIOzone(cfg, workload.IOzoneConfig{
-					Threads: threads, FileSize: fileSize, RecordSize: rec, DirectIO: true,
-				})
-				key := fmt.Sprintf("%v-%d", design, rec)
-				row[key] = res
-				out.Points = append(out.Points, IOzonePoint{
-					Threads: threads, RecordSize: rec, Design: design,
-					Mode: memreg.Regular, Result: res,
-				})
-			}
-		}
-		k128, m1 := 128<<10, 1<<20
-		out.Read.AddRow(threads,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, k128)].Read.MBps,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, k128)].Read.MBps,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, m1)].Read.MBps,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, m1)].Read.MBps)
-		out.Write.AddRow(threads,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, k128)].Write.MBps,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, k128)].Write.MBps,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, m1)].Write.MBps,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, m1)].Write.MBps)
-		out.CPU.AddRow(threads,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadRead, k128)].Read.ClientCPUPct,
-			row[fmt.Sprintf("%v-%d", rpcrdma.ReadWrite, k128)].Read.ClientCPUPct)
+	records := []int{128 << 10, 1 << 20}
+	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
+	pts := runner.Grid(8, len(records), len(designs))
+	results := pmap(len(pts), func(i int) workload.IOzoneResult {
+		c := pts[i]
+		return runIOzone(core.Config{
+			Profile:   profiles.SolarisSDR(),
+			Transport: core.TransportRDMA,
+			Design:    designs[c[2]],
+			RegMode:   memreg.Regular,
+		}, workload.IOzoneConfig{
+			Threads: c[0] + 1, FileSize: fileSize, RecordSize: records[c[1]], DirectIO: true,
+		})
+	})
+	for i, c := range pts {
+		out.Points = append(out.Points, IOzonePoint{
+			Threads: c[0] + 1, RecordSize: records[c[1]], Design: designs[c[2]],
+			Mode: memreg.Regular, Result: results[i],
+		})
+	}
+	// Row assembly: point index for (threads t, record r, design d).
+	at := func(t, r, d int) workload.IOzoneResult {
+		return results[((t-1)*len(records)+r)*len(designs)+d]
+	}
+	for t := 1; t <= 8; t++ {
+		out.Read.AddRow(t,
+			at(t, 0, 0).Read.MBps, at(t, 0, 1).Read.MBps,
+			at(t, 1, 0).Read.MBps, at(t, 1, 1).Read.MBps)
+		out.Write.AddRow(t,
+			at(t, 0, 0).Write.MBps, at(t, 0, 1).Write.MBps,
+			at(t, 1, 0).Write.MBps, at(t, 1, 1).Write.MBps)
+		out.CPU.AddRow(t, at(t, 0, 0).Read.ClientCPUPct, at(t, 0, 1).Read.ClientCPUPct)
 	}
 	return out
 }
@@ -127,31 +156,54 @@ func RunFigure7(scale Scale) *Figure7 {
 		Write: stats.NewTable("Figure 7b: IOzone Write bandwidth by registration strategy, Solaris (MB/s)", "threads", "Register", "FMR", "Cache"),
 		CPU:   stats.NewTable("Figure 7: client CPU utilization, read phase (%)", "threads", "Register", "FMR", "Cache"),
 	}
-	fileSize := scale.div64(128 << 20)
 	modes := []memreg.Mode{memreg.Regular, memreg.FMR, memreg.Cache}
-	for threads := 1; threads <= 8; threads++ {
-		results := map[memreg.Mode]workload.IOzoneResult{}
-		for _, mode := range modes {
-			cfg := core.Config{
-				Profile:   profiles.SolarisSDR(),
-				Transport: core.TransportRDMA,
-				Design:    rpcrdma.ReadWrite,
-				RegMode:   mode,
-			}
-			res := runIOzone(cfg, workload.IOzoneConfig{
-				Threads: threads, FileSize: fileSize, RecordSize: 128 << 10,
-			})
-			results[mode] = res
-			out.Points = append(out.Points, IOzonePoint{
-				Threads: threads, RecordSize: 128 << 10,
-				Design: rpcrdma.ReadWrite, Mode: mode, Result: res,
-			})
-		}
-		out.Read.AddRow(threads, results[memreg.Regular].Read.MBps, results[memreg.FMR].Read.MBps, results[memreg.Cache].Read.MBps)
-		out.Write.AddRow(threads, results[memreg.Regular].Write.MBps, results[memreg.FMR].Write.MBps, results[memreg.Cache].Write.MBps)
-		out.CPU.AddRow(threads, results[memreg.Regular].Read.ClientCPUPct, results[memreg.FMR].Read.ClientCPUPct, results[memreg.Cache].Read.ClientCPUPct)
-	}
+	out.Points = regStrategySweep(scale, profiles.SolarisSDR, modes, out.Read, out.Write, out.CPU)
 	return out
+}
+
+// regStrategySweep runs the shared Figure 7/9 shape: threads 1-8 ×
+// registration modes, Read-Write design, 128 KiB records, one testbed
+// profile. It fills the three tables and returns the point list.
+func regStrategySweep(scale Scale, profile func() profiles.Profile, modes []memreg.Mode, read, write, cpu *stats.Table) []IOzonePoint {
+	fileSize := scale.div64(128 << 20)
+	pts := runner.Grid(8, len(modes))
+	results := pmap(len(pts), func(i int) workload.IOzoneResult {
+		c := pts[i]
+		return runIOzone(core.Config{
+			Profile:   profile(),
+			Transport: core.TransportRDMA,
+			Design:    rpcrdma.ReadWrite,
+			RegMode:   modes[c[1]],
+		}, workload.IOzoneConfig{
+			Threads: c[0] + 1, FileSize: fileSize, RecordSize: 128 << 10,
+		})
+	})
+	points := make([]IOzonePoint, 0, len(pts))
+	for i, c := range pts {
+		points = append(points, IOzonePoint{
+			Threads: c[0] + 1, RecordSize: 128 << 10,
+			Design: rpcrdma.ReadWrite, Mode: modes[c[1]], Result: results[i],
+		})
+	}
+	for t := 1; t <= 8; t++ {
+		row := make([]any, 0, len(modes)+1)
+		row = append(row, t)
+		for m := range modes {
+			row = append(row, results[(t-1)*len(modes)+m].Read.MBps)
+		}
+		read.AddRow(row...)
+		row = row[:1]
+		for m := range modes {
+			row = append(row, results[(t-1)*len(modes)+m].Write.MBps)
+		}
+		write.AddRow(row...)
+		row = row[:1]
+		for m := range modes {
+			row = append(row, results[(t-1)*len(modes)+m].Read.ClientCPUPct)
+		}
+		cpu.AddRow(row...)
+	}
+	return points
 }
 
 // Figure8 reproduces Fig. 8: the FileBench-style OLTP workload (mean I/O
@@ -180,33 +232,39 @@ func RunFigure8(scale Scale) *Figure8 {
 		duration = time.Duration(int64(duration) / int64(scale))
 	}
 	readerCounts := []int{50, 100, 150, 200}
-	for _, readers := range readerCounts {
-		results := map[memreg.Mode]workload.OLTPResult{}
-		for _, mode := range []memreg.Mode{memreg.Regular, memreg.FMR, memreg.Cache} {
-			cluster := core.NewCluster(core.Config{
-				Profile:   profiles.SolarisSDR(),
-				Transport: core.TransportRDMA,
-				Design:    rpcrdma.ReadWrite,
-				RegMode:   mode,
+	modes := []memreg.Mode{memreg.Regular, memreg.FMR, memreg.Cache}
+	pts := runner.Grid(len(readerCounts), len(modes))
+	results := pmap(len(pts), func(i int) workload.OLTPResult {
+		c := pts[i]
+		readers := readerCounts[c[0]]
+		cluster := core.NewCluster(core.Config{
+			Profile:   profiles.SolarisSDR(),
+			Transport: core.TransportRDMA,
+			Design:    rpcrdma.ReadWrite,
+			RegMode:   modes[c[1]],
+		})
+		var res workload.OLTPResult
+		var err error
+		cluster.Start("oltp-driver", func(p *des.Proc) {
+			res, err = workload.RunOLTP(p, cluster, workload.OLTPConfig{
+				Readers: readers, Writers: readers / 10, MeanIO: 128 << 10,
+				FileSize: scale.div64(512 << 20), Duration: duration, Seed: uint64(readers),
 			})
-			var res workload.OLTPResult
-			var err error
-			cluster.Start("oltp-driver", func(p *des.Proc) {
-				res, err = workload.RunOLTP(p, cluster, workload.OLTPConfig{
-					Readers: readers, Writers: readers / 10, MeanIO: 128 << 10,
-					FileSize: scale.div64(512 << 20), Duration: duration, Seed: uint64(readers),
-				})
-			})
-			cluster.Run()
-			if err != nil {
-				panic(fmt.Sprintf("experiments: oltp failed: %v", err))
-			}
-			results[mode] = res
-			out.Series[mode] = append(out.Series[mode], OLTPPoint{Readers: readers, Mode: mode, Result: res})
+		})
+		cluster.Run()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: oltp failed: %v", err))
+		}
+		return res
+	})
+	at := func(r, m int) workload.OLTPResult { return results[r*len(modes)+m] }
+	for ri, readers := range readerCounts {
+		for mi, mode := range modes {
+			out.Series[mode] = append(out.Series[mode], OLTPPoint{Readers: readers, Mode: mode, Result: at(ri, mi)})
 		}
 		out.Table.AddRow(readers,
-			results[memreg.Regular].OpsPerSec, results[memreg.FMR].OpsPerSec, results[memreg.Cache].OpsPerSec,
-			results[memreg.Regular].ClientUSPerOp, results[memreg.Cache].ClientUSPerOp)
+			at(ri, 0).OpsPerSec, at(ri, 1).OpsPerSec, at(ri, 2).OpsPerSec,
+			at(ri, 0).ClientUSPerOp, at(ri, 2).ClientUSPerOp)
 	}
 	return out
 }
@@ -228,30 +286,8 @@ func RunFigure9(scale Scale) *Figure9 {
 		Write: stats.NewTable("Figure 9b: IOzone Write bandwidth by registration strategy, Linux (MB/s)", "threads", "Register", "FMR", "All-Physical"),
 		CPU:   stats.NewTable("Figure 9: client CPU utilization, read phase (%)", "threads", "Register", "FMR", "All-Physical"),
 	}
-	fileSize := scale.div64(128 << 20)
 	modes := []memreg.Mode{memreg.Regular, memreg.FMR, memreg.AllPhysical}
-	for threads := 1; threads <= 8; threads++ {
-		results := map[memreg.Mode]workload.IOzoneResult{}
-		for _, mode := range modes {
-			cfg := core.Config{
-				Profile:   profiles.LinuxSDR(),
-				Transport: core.TransportRDMA,
-				Design:    rpcrdma.ReadWrite,
-				RegMode:   mode,
-			}
-			res := runIOzone(cfg, workload.IOzoneConfig{
-				Threads: threads, FileSize: fileSize, RecordSize: 128 << 10,
-			})
-			results[mode] = res
-			out.Points = append(out.Points, IOzonePoint{
-				Threads: threads, RecordSize: 128 << 10,
-				Design: rpcrdma.ReadWrite, Mode: mode, Result: res,
-			})
-		}
-		out.Read.AddRow(threads, results[memreg.Regular].Read.MBps, results[memreg.FMR].Read.MBps, results[memreg.AllPhysical].Read.MBps)
-		out.Write.AddRow(threads, results[memreg.Regular].Write.MBps, results[memreg.FMR].Write.MBps, results[memreg.AllPhysical].Write.MBps)
-		out.CPU.AddRow(threads, results[memreg.Regular].Read.ClientCPUPct, results[memreg.FMR].Read.ClientCPUPct, results[memreg.AllPhysical].Read.ClientCPUPct)
-	}
+	out.Points = regStrategySweep(scale, profiles.LinuxSDR, modes, out.Read, out.Write, out.CPU)
 	return out
 }
 
@@ -282,36 +318,41 @@ func RunFigure10(scale Scale, serverMemBytes int64, maxClients int) *Figure10 {
 	}
 	cacheBytes := scale.div64(serverMemBytes - 1<<30)
 	fileSize := scale.div64(1 << 30)
+	transports := []core.Transport{core.TransportRDMA, core.TransportIPoIB, core.TransportGigE}
+	pts := runner.Grid(maxClients, len(transports))
+	results := pmap(len(pts), func(i int) workload.MultiClientResult {
+		c := pts[i]
+		cluster := core.NewCluster(core.Config{
+			Profile:        profiles.LinuxDDR(),
+			Transport:      transports[c[1]],
+			Design:         rpcrdma.ReadWrite,
+			RegMode:        memreg.AllPhysical,
+			Clients:        c[0] + 1,
+			Backend:        core.BackendDisk,
+			PageCacheBytes: cacheBytes,
+		})
+		var res workload.MultiClientResult
+		var err error
+		cluster.Start("multiclient-driver", func(p *des.Proc) {
+			res, err = workload.RunMultiClient(p, cluster, workload.MultiClientConfig{
+				FileSize: fileSize, RecordSize: 1 << 20,
+			})
+		})
+		cluster.Run()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: multiclient failed: %v", err))
+		}
+		return res
+	})
+	at := func(cl, tr int) workload.MultiClientResult { return results[(cl-1)*len(transports)+tr] }
 	for clients := 1; clients <= maxClients; clients++ {
-		results := map[core.Transport]workload.MultiClientResult{}
-		for _, tr := range []core.Transport{core.TransportRDMA, core.TransportIPoIB, core.TransportGigE} {
-			cluster := core.NewCluster(core.Config{
-				Profile:        profiles.LinuxDDR(),
-				Transport:      tr,
-				Design:         rpcrdma.ReadWrite,
-				RegMode:        memreg.AllPhysical,
-				Clients:        clients,
-				Backend:        core.BackendDisk,
-				PageCacheBytes: cacheBytes,
-			})
-			var res workload.MultiClientResult
-			var err error
-			cluster.Start("multiclient-driver", func(p *des.Proc) {
-				res, err = workload.RunMultiClient(p, cluster, workload.MultiClientConfig{
-					FileSize: fileSize, RecordSize: 1 << 20,
-				})
-			})
-			cluster.Run()
-			if err != nil {
-				panic(fmt.Sprintf("experiments: multiclient failed: %v", err))
-			}
-			results[tr] = res
-			out.Series[tr] = append(out.Series[tr], MultiClientPoint{Clients: clients, Transport: tr, Result: res})
+		for ti, tr := range transports {
+			out.Series[tr] = append(out.Series[tr], MultiClientPoint{Clients: clients, Transport: tr, Result: at(clients, ti)})
 		}
 		out.Table.AddRow(clients,
-			results[core.TransportRDMA].AggregateReadMBps,
-			results[core.TransportIPoIB].AggregateReadMBps,
-			results[core.TransportGigE].AggregateReadMBps)
+			at(clients, 0).AggregateReadMBps,
+			at(clients, 1).AggregateReadMBps,
+			at(clients, 2).AggregateReadMBps)
 	}
 	return out
 }

@@ -1,0 +1,128 @@
+// Package runner fans independent simulation sweep points out across the
+// machine's cores.
+//
+// Every figure in the paper's evaluation is a parameter sweep whose points
+// are independent simulations: each point builds its own des.Sim, its own
+// fabric, hosts, and RNGs, all seeded from the point's configuration alone.
+// Nothing is shared between points, so they can execute concurrently — the
+// des kernel guarantees bit-identical virtual-time results regardless of
+// which OS thread a simulation happens to run on.
+//
+// Determinism of the *aggregate* result is preserved by construction:
+// results are keyed by point index, never by completion order, so a sweep
+// run with 1 worker and with 64 workers produces byte-identical output.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers is the default worker count for Map: one per available core.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i) for every i in [0, n) across min(Workers(), n) goroutines
+// and returns the results ordered by index. It is the parallel equivalent
+// of
+//
+//	out := make([]T, n)
+//	for i := range out { out[i] = fn(i) }
+//
+// and produces the identical slice. A panic in any fn is captured and
+// re-thrown on the caller's goroutine after all workers have drained, so
+// partial sweeps never leak goroutines.
+func Map[T any](n int, fn func(i int) T) []T {
+	return MapWorkers(Workers(), n, fn)
+}
+
+// MapWorkers is Map with an explicit worker count. workers <= 1 runs the
+// sweep sequentially on the calling goroutine — the reference path the
+// determinism tests compare the parallel path against.
+func MapWorkers[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next    int64 // next unclaimed point index; accessed under mu
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panics  []any
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if int(next) >= n {
+			return 0, false
+		}
+		i := int(next)
+		next++
+		return i, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							panics = append(panics, fmt.Sprintf("point %d: %v", i, r))
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(panics) > 0 {
+		panic(fmt.Sprintf("runner: %d sweep point(s) panicked; first: %v", len(panics), panics[0]))
+	}
+	return out
+}
+
+// Grid enumerates the cross product of axis lengths in row-major order
+// (last axis fastest) and returns every coordinate tuple. It turns nested
+// sweep loops into a flat, Map-able point list:
+//
+//	pts := runner.Grid(8, 2, 2) // threads × record × design
+//	res := runner.Map(len(pts), func(i int) R { c := pts[i]; ... })
+func Grid(dims ...int) [][]int {
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil
+		}
+		n *= d
+	}
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		coord := make([]int, len(dims))
+		rem := i
+		for a := len(dims) - 1; a >= 0; a-- {
+			coord[a] = rem % dims[a]
+			rem /= dims[a]
+		}
+		out[i] = coord
+	}
+	return out
+}

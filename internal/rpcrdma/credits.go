@@ -15,12 +15,14 @@ import (
 // then backs off before the server wedges.
 
 // creditGate bounds in-flight calls by a grant that can change at runtime
-// (a plain counting semaphore cannot shrink).
+// (a plain counting semaphore cannot shrink). Waiters queue in a ring
+// buffer so draining the front drops the fired events instead of pinning
+// them in the slice's backing array.
 type creditGate struct {
 	sim         *des.Sim
 	granted     int
 	outstanding int
-	waiters     []*des.Event
+	waiters     des.Ring[*des.Event]
 }
 
 func newCreditGate(sim *des.Sim, initial int) *creditGate {
@@ -31,7 +33,7 @@ func newCreditGate(sim *des.Sim, initial int) *creditGate {
 func (g *creditGate) acquire(p *des.Proc) {
 	for g.outstanding >= g.granted {
 		ev := des.NewEvent(g.sim)
-		g.waiters = append(g.waiters, ev)
+		g.waiters.Push(ev)
 		ev.Wait(p)
 	}
 	g.outstanding++
@@ -60,10 +62,8 @@ func (g *creditGate) setGranted(n int) {
 // woken waiter re-checks the condition, so extra wakeups are harmless.
 func (g *creditGate) wake() {
 	free := g.granted - g.outstanding
-	for free > 0 && len(g.waiters) > 0 {
-		ev := g.waiters[0]
-		g.waiters = g.waiters[1:]
-		ev.Fire(nil)
+	for free > 0 && g.waiters.Len() > 0 {
+		g.waiters.Pop().Fire(nil)
 		free--
 	}
 }

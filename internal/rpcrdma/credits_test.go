@@ -64,6 +64,38 @@ func TestCreditGateShrinkAndGrow(t *testing.T) {
 	}
 }
 
+// TestCreditGateWaiterChurnDrains queues a deep waiter backlog behind a
+// shrunken grant and verifies the ring-buffered waiter list (which replaced
+// the retention-prone waiters[1:] re-slicing — see des.Ring) fully drains
+// under heavy churn and the gate keeps granting afterwards.
+func TestCreditGateWaiterChurnDrains(t *testing.T) {
+	sim := des.New()
+	g := newCreditGate(sim, 1)
+	completed := 0
+	for i := 0; i < 200; i++ {
+		sim.Spawn("w", func(p *des.Proc) {
+			g.acquire(p)
+			p.Sleep(time.Microsecond)
+			g.release()
+			completed++
+		})
+	}
+	sim.Spawn("grow", func(p *des.Proc) {
+		p.Sleep(50 * time.Microsecond)
+		g.setGranted(4)
+	})
+	sim.Run()
+	if completed != 200 {
+		t.Fatalf("completed %d acquisitions, want 200", completed)
+	}
+	if g.waiters.Len() != 0 {
+		t.Fatalf("waiter ring not drained: %d left", g.waiters.Len())
+	}
+	if g.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d at end", g.Outstanding())
+	}
+}
+
 func TestCreditGateNeverRevokesLastCredit(t *testing.T) {
 	sim := des.New()
 	g := newCreditGate(sim, 4)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race-runner bench bench-record
+.PHONY: build test check vet faults race-runner bench bench-record
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,17 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet
+check: vet faults
 	$(GO) test -race ./...
+
+# faults runs the failure-injection and recovery suite under the race
+# detector: fabric fault injection, client retransmit/reconnect, server
+# connection lifecycle, the duplicate request cache, and the end-to-end
+# recovery ablation.
+faults:
+	$(GO) test -race -run 'Fault|Flap|Timeout|Retransmit|Retry|Recovery|Reconnect|ConnDeath|DRC' \
+		./internal/ibsim/ ./internal/rpcrdma/ ./internal/oncrpc/ \
+		./internal/core/ ./internal/experiments/
 
 vet:
 	$(GO) vet ./...

@@ -56,7 +56,7 @@ type figureBench struct {
 func main() {
 	scale := flag.Int("scale", 4, "workload scale divisor (1 = paper sizes)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
-	only := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations")
+	only := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations,recovery")
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per core, 1 = sequential)")
 	benchOut := flag.String("bench-out", "", "write a JSON wall-clock benchmark record to this file")
 	benchNote := flag.String("bench-note", "", "free-form annotation stored in the benchmark record")
@@ -70,7 +70,7 @@ func main() {
 			want[strings.TrimSpace(k)] = true
 		}
 	}
-	known := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations"}
+	known := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations", "recovery"}
 	for k := range want {
 		found := false
 		for _, ok := range known {
@@ -151,6 +151,9 @@ func main() {
 	}
 	if sel("fig10b") {
 		timed("fig10b", func() { emit(experiments.RunFigure10(s, 8<<30, 8).Table) })
+	}
+	if sel("recovery") {
+		timed("recovery", func() { emit(experiments.RunRecovery(s).Table) })
 	}
 	if want["ablations"] {
 		timed("ablations", func() {

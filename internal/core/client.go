@@ -23,8 +23,9 @@ type Client struct {
 	NFS       *nfs3.Client
 	Root      nfs3.FH
 
-	attrCache *AttrCache // nil unless EnableAttrCache was called
-	dataCache *DataCache // nil unless EnableDataCache was called
+	attrCache *AttrCache            // nil unless EnableAttrCache was called
+	dataCache *DataCache            // nil unless EnableDataCache was called
+	recovery  *recoveringTransport  // nil unless EnableRecovery was called
 }
 
 // Buffer is client application memory used for file I/O: it is backed by a

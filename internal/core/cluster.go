@@ -81,6 +81,12 @@ type Config struct {
 	// (RegMode Cache only; 0 = the memreg default).
 	CacheMaxBytes int64
 
+	// DRCEntries bounds the server's per-client duplicate request cache.
+	// 0 selects the default (256 entries per client machine); negative
+	// disables the cache entirely, making retransmitted non-idempotent
+	// calls re-execute (for ablation only).
+	DRCEntries int
+
 	// FSCapacity is the advertised export size.
 	FSCapacity int64
 
@@ -110,8 +116,9 @@ type Server struct {
 	Mount *nfs3.MountServer
 	Mgr   *memreg.Manager
 
-	RDMA *rpcrdma.ServerTransport
-	TCP  *tcpsim.Listener
+	RDMA       *rpcrdma.ServerTransport
+	TCP        *tcpsim.Listener
+	Dispatcher *oncrpc.Dispatcher
 
 	Disk  *vfs.DiskArray
 	Cache *vfs.PageCache
@@ -173,6 +180,14 @@ func NewCluster(cfg Config) *Cluster {
 	dispatcher := oncrpc.NewDispatcher()
 	dispatcher.Register(srv.NFS)
 	dispatcher.Register(srv.Mount)
+	srv.Dispatcher = dispatcher
+	if cfg.DRCEntries >= 0 {
+		entries := cfg.DRCEntries
+		if entries == 0 {
+			entries = 256
+		}
+		dispatcher.EnableDRC(entries)
+	}
 
 	for i := 0; i < cfg.Clients; i++ {
 		nodeCfg := clientNodeCfg

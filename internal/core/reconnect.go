@@ -8,13 +8,19 @@ import (
 )
 
 // Reconnect replaces a failed RDMA connection with a fresh queue pair and
-// client transport, re-attaching it to the server. The NFS client keeps
-// its XID stream across the swap, so a server-side duplicate request cache
-// stays coherent (retried calls replay; new calls execute).
+// client transport, re-attaching it to the server. The new transport is
+// built by the same constructor as initial wiring (newClientTransport), so
+// it inherits the cluster's design, profile, and timeout policy. The NFS
+// client keeps its XID stream across the swap, so the server's duplicate
+// request cache stays coherent: retried non-idempotent calls replay their
+// cached replies instead of re-executing.
 //
-// In-flight calls on the old connection are lost (their Roundtrips have
-// already returned transport errors); the caller retries them — NFSv3 is
-// stateless, and the DRC makes retries of non-idempotent procedures safe.
+// In-flight calls on the old connection have already failed back to their
+// callers with transport errors. With recovery enabled (EnableRecovery)
+// the recovering transport replays them transparently after this
+// reconnect; without it the caller retries by hand. Either way the
+// retransmission carries the original XID, which is what makes retrying
+// non-idempotent procedures safe against the DRC.
 func (c *Client) Reconnect(p *des.Proc) error {
 	if c.RDMA == nil {
 		return fmt.Errorf("core: reconnect applies to RDMA transports only")
@@ -23,10 +29,13 @@ func (c *Client) Reconnect(p *des.Proc) error {
 	cluster := c.cluster
 	cq, sq := cluster.Fabric.Connect(c.Node, cluster.Server.Node, ibsim.QPConfig{})
 	cluster.Server.RDMA.Serve(sq)
-	cfg := cluster.Cfg.Profile.RDMAClient
-	cfg.Design = cluster.Cfg.Design
 	c.RDMA = newClientTransport(p, cq, c)
-	c.Transport = c.RDMA
-	c.NFS.SetTransport(c.RDMA)
+	if c.recovery == nil {
+		// No recovery wrapper: callers talk to the raw transport, so swap
+		// it in directly. With recovery enabled the wrapper stays installed
+		// and reads c.RDMA on every call.
+		c.Transport = c.RDMA
+		c.NFS.SetTransport(c.RDMA)
+	}
 	return nil
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/oncrpc"
+	"repro/internal/rpcrdma"
+)
+
+// RetryPolicy tunes transparent connection recovery (EnableRecovery).
+type RetryPolicy struct {
+	// MaxReconnects bounds how many reconnect+replay cycles one call may
+	// drive before its transport error surfaces to the application.
+	MaxReconnects int
+
+	// Backoff is the wait before the first reconnect attempt; it doubles
+	// per cycle (exponential backoff, mirroring the transport's per-call
+	// retransmission policy one layer down).
+	Backoff des.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxReconnects <= 0 {
+		r.MaxReconnects = 4
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = 100 * time.Microsecond
+	}
+	return r
+}
+
+// recoveringTransport wraps the client's RDMA transport with transparent
+// reconnect-and-replay: a call that fails with a transport-level error
+// (connection death, exhausted retransmissions) re-establishes the
+// connection and replays the request with its original XID, so the
+// server's duplicate request cache suppresses re-execution of
+// non-idempotent procedures. Callers — the NFS client above — never see
+// the failure unless the retry policy is exhausted.
+type recoveringTransport struct {
+	cl     *Client
+	policy RetryPolicy
+
+	// reconnecting coordinates single-flight reconnection: while non-nil, a
+	// reconnect is in progress and other failing calls wait on it instead
+	// of racing to replace the same connection.
+	reconnecting *des.Event
+
+	reconnects int64
+	replays    int64
+}
+
+var _ oncrpc.Transport = (*recoveringTransport)(nil)
+
+// isTransportError reports whether err means the connection (not the call)
+// failed: such calls are safe to replay on a fresh connection because the
+// server's DRC answers retransmissions of anything that already executed.
+func isTransportError(err error) bool {
+	return errors.Is(err, rpcrdma.ErrTransport) ||
+		errors.Is(err, rpcrdma.ErrClosed) ||
+		errors.Is(err, rpcrdma.ErrTimeout)
+}
+
+// Roundtrip implements oncrpc.Transport.
+func (r *recoveringTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.Response, error) {
+	backoff := r.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		resp, err := r.cl.RDMA.Roundtrip(p, req)
+		if err == nil || !isTransportError(err) {
+			return resp, err
+		}
+		if attempt >= r.policy.MaxReconnects {
+			return nil, err
+		}
+		p.Sleep(backoff)
+		backoff *= 2
+		if rerr := r.ensureConnected(p); rerr != nil {
+			return nil, rerr
+		}
+		r.replays++
+	}
+}
+
+// Close implements oncrpc.Transport.
+func (r *recoveringTransport) Close() { r.cl.RDMA.Close() }
+
+// ensureConnected replaces a broken connection, single-flight: concurrent
+// failing calls wait for the one reconnect instead of each dialing.
+func (r *recoveringTransport) ensureConnected(p *des.Proc) error {
+	for r.reconnecting != nil {
+		r.reconnecting.Wait(p)
+	}
+	if !r.cl.RDMA.Broken() {
+		return nil // someone else already reconnected
+	}
+	ev := des.NewEvent(r.cl.cluster.Sim)
+	r.reconnecting = ev
+	err := r.cl.Reconnect(p)
+	r.reconnecting = nil
+	ev.Fire(nil)
+	if err != nil {
+		return err
+	}
+	r.reconnects++
+	return nil
+}
+
+// EnableRecovery installs transparent reconnect-and-replay on the client's
+// RDMA transport. Call it after the cluster is wired (inside Start) and
+// before issuing I/O. The per-call timeout that detects silent failures is
+// configured separately, via Profile.RDMAClient.CallTimeout/RetryLimit.
+func (c *Client) EnableRecovery(policy RetryPolicy) {
+	if c.RDMA == nil {
+		panic("core: recovery applies to RDMA transports only")
+	}
+	r := &recoveringTransport{cl: c, policy: policy.withDefaults()}
+	c.recovery = r
+	c.Transport = r
+	c.NFS.SetTransport(r)
+}
+
+// RecoveryStats returns (reconnects, replays) performed by the recovery
+// layer, or zeros when EnableRecovery was not called.
+func (c *Client) RecoveryStats() (reconnects, replays int64) {
+	if c.recovery == nil {
+		return 0, 0
+	}
+	return c.recovery.reconnects, c.recovery.replays
+}

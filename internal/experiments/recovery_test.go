@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRecoveryAblation is the end-to-end recovery acceptance check: the
+// workload completes across every injected-failure count (including >= 3
+// faults) with byte-exact data and zero duplicate side effects, on both
+// transfer designs.
+func TestRecoveryAblation(t *testing.T) {
+	r := RunRecovery(testScale)
+	if len(r.Points) != 8 {
+		t.Fatalf("points = %d, want 8", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if !p.DataOK {
+			t.Errorf("faults=%d design=%v: data corrupt", p.Faults, p.Design)
+		}
+		if p.ServerWrites != p.WritesIssued {
+			t.Errorf("faults=%d design=%v: server executed %d WRITEs, issued %d (duplicate side effects)",
+				p.Faults, p.Design, p.ServerWrites, p.WritesIssued)
+		}
+		if int64(p.Faults) != p.Reconnects {
+			t.Errorf("faults=%d design=%v: reconnects = %d, want one per fault",
+				p.Faults, p.Design, p.Reconnects)
+		}
+		if p.Faults > 0 && p.Replays < p.Reconnects {
+			t.Errorf("faults=%d design=%v: replays = %d < reconnects = %d",
+				p.Faults, p.Design, p.Replays, p.Reconnects)
+		}
+	}
+}
+
+// TestRecoverySequentialAndParallelIdentical asserts the recovery sweep is
+// deterministic across worker counts — the -workers 1 vs -workers N
+// acceptance criterion.
+func TestRecoverySequentialAndParallelIdentical(t *testing.T) {
+	digest := func(r *Recovery) string {
+		return fmt.Sprintf("%+v\n%s", r.Points, r.Table)
+	}
+
+	SetParallelism(1)
+	seq := RunRecovery(testScale)
+	SetParallelism(8)
+	par := RunRecovery(testScale)
+	SetParallelism(0)
+
+	if ds, dp := digest(seq), digest(par); ds != dp {
+		t.Fatalf("sequential and parallel recovery sweeps diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", ds, dp)
+	}
+}

@@ -19,4 +19,9 @@ var (
 	// ErrRecvOverflow is a send whose payload exceeded the posted receive
 	// buffer.
 	ErrRecvOverflow = errors.New("ibsim: receive buffer overflow")
+
+	// ErrInjected is an administratively injected fault (a simulated link
+	// flap or QP error from the fault-injection API); it wraps every error
+	// delivered by Fabric.ScheduleLinkFlap / QP.InjectError.
+	ErrInjected = errors.New("ibsim: injected fault")
 )

@@ -23,6 +23,10 @@ type Fabric struct {
 	Counters *stats.Counters
 	nodes    []*Node
 	qpn      int
+	// conns records every QP created by Connect in creation order, so fault
+	// injection by node pair visits endpoints deterministically and keeps
+	// working across reconnects (new QPs join the registry as they are made).
+	conns []*QP
 }
 
 // NewFabric creates an empty fabric on the given simulation.
@@ -226,5 +230,41 @@ func (f *Fabric) Connect(a, b *Node, cfg QPConfig) (*QP, *QP) {
 	qb.ord = des.NewResource(f.Sim, fmt.Sprintf("%s/qp%d/ord", b.name, qb.qpn), ordB)
 	qa.start()
 	qb.start()
+	f.conns = append(f.conns, qa, qb)
 	return qa, qb
+}
+
+// ScheduleQPError arms a fault: at virtual time at, the given QP (and, via
+// error propagation, its peer) transitions to the error state. In-flight
+// WQEs flush with errors wrapping ErrInjected and both CQs of both
+// endpoints observe the death. Injecting into an endpoint that already died
+// or was closed is a no-op, so schedules laid out in advance stay safe
+// across reconnects.
+func (f *Fabric) ScheduleQPError(at des.Time, q *QP, err error) {
+	f.Sim.SpawnAt(at, "fault-qp", func(*des.Proc) {
+		if q.closed || q.errSt != nil {
+			return
+		}
+		q.InjectError(err)
+	})
+}
+
+// ScheduleLinkFlap arms a fault: at virtual time at, every live connection
+// between nodes a and b is killed, as a port bounce on either host would do.
+// Connections established after the flap (e.g. by recovery reconnecting) are
+// untouched, so a schedule of flaps at increasing times tests repeated
+// failure/recovery cycles. Endpoints are visited in creation order for
+// determinism.
+func (f *Fabric) ScheduleLinkFlap(at des.Time, a, b *Node) {
+	f.Sim.SpawnAt(at, "fault-flap", func(*des.Proc) {
+		f.Counters.Inc("fault.flap")
+		for _, q := range f.conns {
+			if q.closed || q.errSt != nil || q.peer == nil {
+				continue
+			}
+			if (q.node == a && q.peer.node == b) || (q.node == b && q.peer.node == a) {
+				q.InjectError(fmt.Errorf("%w: link flap %s<->%s", ErrInjected, a.name, b.name))
+			}
+		}
+	})
 }

@@ -1,0 +1,144 @@
+package ibsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+// An injected QP error must flush an in-flight RDMA Write: the waiter
+// unblocks with an error wrapping ErrInjected, the remote memory is never
+// written, and both endpoints observe the death on both CQs.
+func TestInjectErrorFlushesInFlightWrite(t *testing.T) {
+	sim, fab, a, b, qa, qb := testPair(t, true)
+	src := a.Mem.Alloc(1 << 20)
+	dst := b.Mem.Alloc(1 << 20)
+	fill(src, 7)
+
+	// 1 MiB at 900 MB/s serializes for ~1.16 ms; kill the QP mid-transfer.
+	fab.ScheduleQPError(des.Time(200*time.Microsecond), qa, nil)
+
+	var cqe *CQE
+	sim.Spawn("writer", func(p *des.Proc) {
+		mr := b.HCA.Register(p, dst, 0, dst.Size, AccessRemoteWrite)
+		cqe = qa.PostAndWait(p, &SendWQE{
+			WRID: 1, Op: OpWrite,
+			Local:     []LocalSeg{{Buf: src, Len: src.Size}},
+			RemoteKey: mr.Rkey(), RemoteAddr: dst.Addr(0),
+		})
+	})
+	sim.Run()
+
+	if cqe == nil || cqe.Err == nil {
+		t.Fatalf("in-flight write should flush with an error, got %+v", cqe)
+	}
+	if !errors.Is(cqe.Err, ErrInjected) {
+		t.Errorf("flush error should wrap ErrInjected, got %v", cqe.Err)
+	}
+	if qa.Err() == nil || qb.Err() == nil {
+		t.Error("both endpoints should be in error state")
+	}
+	for i, d := range dst.Data() {
+		if d != 0 {
+			t.Fatalf("flushed write landed data at offset %d", i)
+		}
+	}
+	// Death is observable on both ends, on both queues.
+	for _, tc := range []struct {
+		name string
+		cq   *CQ
+	}{
+		{"a/recv", qa.RecvCQ}, {"a/send", qa.SendCQ},
+		{"b/recv", qb.RecvCQ}, {"b/send", qb.SendCQ},
+	} {
+		c, ok := tc.cq.Poll()
+		if !ok || c.Err == nil {
+			t.Errorf("%s: expected a flush CQE, got %+v (ok=%v)", tc.name, c, ok)
+		}
+	}
+	if fab.Counters.Get("fault.injected") != 1 {
+		t.Errorf("fault.injected = %d, want 1", fab.Counters.Get("fault.injected"))
+	}
+}
+
+// An injected error must also flush an in-flight RDMA Read and release its
+// ORD slot so the requester is not left with a leaked outstanding-read.
+func TestInjectErrorFlushesInFlightRead(t *testing.T) {
+	sim, fab, a, b, qa, _ := testPair(t, true)
+	src := b.Mem.Alloc(1 << 20)
+	dst := a.Mem.Alloc(1 << 20)
+	fill(src, 3)
+
+	fab.ScheduleQPError(des.Time(200*time.Microsecond), qa, nil)
+
+	var cqe *CQE
+	sim.Spawn("reader", func(p *des.Proc) {
+		mr := b.HCA.Register(p, src, 0, src.Size, AccessRemoteRead)
+		cqe = qa.PostAndWait(p, &SendWQE{
+			WRID: 1, Op: OpRead,
+			Local:     []LocalSeg{{Buf: dst, Len: dst.Size}},
+			RemoteKey: mr.Rkey(), RemoteAddr: src.Addr(0),
+		})
+	})
+	sim.Run()
+
+	if cqe == nil || cqe.Err == nil {
+		t.Fatalf("in-flight read should flush with an error, got %+v", cqe)
+	}
+	if !errors.Is(cqe.Err, ErrInjected) {
+		t.Errorf("flush error should wrap ErrInjected, got %v", cqe.Err)
+	}
+	if got := qa.ord.InUse(); got != 0 {
+		t.Errorf("ORD slots leaked: %d still in use, want 0", got)
+	}
+}
+
+// A link flap kills every live connection between the node pair, while a
+// connection established afterwards (the recovery path) stays healthy.
+func TestScheduleLinkFlapSparesReconnect(t *testing.T) {
+	sim, fab, a, b, qa1, qb1 := testPair(t, true)
+	qa2, qb2 := fab.Connect(a, b, QPConfig{})
+
+	fab.ScheduleLinkFlap(des.Time(time.Millisecond), a, b)
+
+	var qa3, qb3 *QP
+	sim.SpawnAt(des.Time(2*time.Millisecond), "reconnect", func(p *des.Proc) {
+		qa3, qb3 = fab.Connect(a, b, QPConfig{})
+		qb3.PostRecv(1, 64)
+		cqe := qa3.PostAndWait(p, &SendWQE{WRID: 1, Op: OpSend, Payload: []byte("hello")})
+		if cqe.Err != nil {
+			t.Errorf("post-flap connection should be healthy, got %v", cqe.Err)
+		}
+	})
+	sim.Run()
+
+	for i, q := range []*QP{qa1, qb1, qa2, qb2} {
+		if q.Err() == nil {
+			t.Errorf("pre-flap QP %d should be dead", i)
+		}
+		if !errors.Is(q.Err(), ErrInjected) {
+			t.Errorf("pre-flap QP %d error should wrap ErrInjected, got %v", i, q.Err())
+		}
+	}
+	if qa3.Err() != nil || qb3.Err() != nil {
+		t.Error("post-flap connection should not be in error state")
+	}
+	if fab.Counters.Get("fault.flap") != 1 {
+		t.Errorf("fault.flap = %d, want 1", fab.Counters.Get("fault.flap"))
+	}
+}
+
+// Scheduling faults against endpoints that already died (or were closed)
+// is a no-op, so fault schedules laid out in advance are safe.
+func TestScheduledFaultOnDeadQPIsNoOp(t *testing.T) {
+	sim, fab, _, _, qa, _ := testPair(t, true)
+	fab.ScheduleQPError(des.Time(time.Millisecond), qa, nil)
+	fab.ScheduleQPError(des.Time(2*time.Millisecond), qa, nil)
+	sim.Run()
+	if fab.Counters.Get("fault.injected") != 1 {
+		t.Errorf("fault.injected = %d, want 1 (second injection should no-op)",
+			fab.Counters.Get("fault.injected"))
+	}
+}

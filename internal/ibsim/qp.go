@@ -1,6 +1,7 @@
 package ibsim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -200,18 +201,40 @@ func (q *QP) MaxORD() int { return q.ord.Capacity() }
 func (q *QP) Err() error { return q.errSt }
 
 // setError transitions the QP (and its peer) to the error state and
-// flushes the receive side: consumers blocked on the RecvCQ get an error
-// completion, as flushed WRs do on real hardware, so protocol engines
-// learn of the failure instead of waiting forever.
+// flushes both completion queues: consumers blocked on the RecvCQ or the
+// SendCQ get an error completion, as flushed WRs do on real hardware, so
+// protocol engines on both ends learn of the failure instead of waiting
+// forever. Work already launched onto the wire checks the error state again
+// at delivery time, so in-flight WQEs flush too rather than completing as
+// if the connection were still healthy.
 func (q *QP) setError(err error) {
 	if q.errSt == nil {
 		q.errSt = err
 		q.node.fab.Counters.Inc("qp.error")
-		q.RecvCQ.post(&CQE{Op: OpRecv, Err: fmt.Errorf("%w: flushed", err), QP: q})
+		flushed := fmt.Errorf("%w: flushed", err)
+		q.RecvCQ.post(&CQE{Op: OpRecv, Err: flushed, QP: q})
+		q.SendCQ.post(&CQE{Op: OpSend, Err: flushed, QP: q})
 	}
 	if q.peer != nil && q.peer.errSt == nil {
-		q.peer.setError(fmt.Errorf("%w (peer: %v)", ErrQPError, err))
+		// Double-wrap so the peer can still classify the root cause (e.g.
+		// errors.Is(err, ErrInjected)) while seeing it arrived via the peer.
+		q.peer.setError(fmt.Errorf("%w (peer: %w)", ErrQPError, err))
 	}
+}
+
+// InjectError forces the connection into the error state at the current
+// virtual instant — the fault-injection entry point. In-flight WQEs flush
+// with errors and both ends' CQs observe the death (see setError). The
+// error surfaced through CQEs wraps ErrInjected unless err already carries
+// a fabric sentinel.
+func (q *QP) InjectError(err error) {
+	if err == nil {
+		err = ErrInjected
+	} else if !errors.Is(err, ErrInjected) {
+		err = fmt.Errorf("%w: %v", ErrInjected, err)
+	}
+	q.node.fab.Counters.Inc("fault.injected")
+	q.setError(err)
 }
 
 // PostRecv posts a receive buffer of the given capacity.
@@ -222,10 +245,14 @@ func (q *QP) PostRecv(wrid uint64, capacity int) {
 // PostedRecvs returns the current receive queue depth.
 func (q *QP) PostedRecvs() int { return len(q.rq) }
 
-// PostSend enqueues a work request for the send engine.
+// PostSend enqueues a work request for the send engine. Posting to a closed
+// endpoint completes the request with a flush error instead of panicking:
+// with connection recovery in play, a reply handler or retransmission timer
+// can legitimately race a Close issued by the reconnect path.
 func (q *QP) PostSend(w *SendWQE) {
 	if q.closed {
-		panic("ibsim: post on closed QP")
+		q.complete(w, fmt.Errorf("%w: flushed", ErrQPError), 0)
+		return
 	}
 	q.sq.Put(w)
 }
@@ -323,6 +350,10 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 	peer := q.peer
 	ctr := q.node.fab.Counters
 	s := q.node.fab.Sim
+	if q.errSt != nil {
+		q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+		return
+	}
 	if peer.errSt != nil {
 		q.complete(w, peer.errSt, 0)
 		return
@@ -369,6 +400,13 @@ func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
 	lat := latency(q.node, q.peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "deliver-write", func(*des.Proc) {
 		peer := q.peer
+		// A fault injected while the data was on the wire flushes the
+		// in-flight WQE instead of letting it land as if healthy.
+		if q.errSt != nil {
+			ctr.Inc("wqe.flushed")
+			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+			return
+		}
 		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteWrite)
 		if err != nil {
 			ctr.Inc("protection_error")
@@ -397,6 +435,12 @@ func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
 	lat := latency(q.node, q.peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "read-responder", func(rp *des.Proc) {
 		peer := q.peer
+		if q.errSt != nil {
+			ctr.Inc("wqe.flushed")
+			q.ord.Release(1)
+			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+			return
+		}
 		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteRead)
 		if err != nil {
 			ctr.Inc("protection_error")
@@ -411,6 +455,12 @@ func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
 		// per-read channel turnaround.
 		transferExtra(rp, peer.node, q.node, size, peer.node.cfg.ReadResponseOverhead)
 		s.SpawnAt(s.Now()+des.Time(lat), "read-data", func(*des.Proc) {
+			if q.errSt != nil {
+				ctr.Inc("wqe.flushed")
+				q.ord.Release(1)
+				q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+				return
+			}
 			copyIn(w.Local, mr, w.RemoteAddr)
 			q.ord.Release(1)
 			q.complete(w, nil, size)

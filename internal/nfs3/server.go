@@ -62,6 +62,23 @@ func (s *Server) Program() uint32 { return Program }
 // Version implements oncrpc.Service.
 func (s *Server) Version() uint32 { return Version }
 
+// NonIdempotent implements oncrpc.IdempotencyClassifier: these procedures
+// mutate namespace or data in ways a replay would corrupt (a re-executed
+// REMOVE returns ENOENT, a re-executed WRITE can clobber newer data, a
+// re-executed CREATE with exclusive semantics fails), so the DRC must
+// answer their retransmissions from cache. Reads and attribute queries are
+// safe to re-execute and stay out of the cache — their bulk-carrying
+// replies reference transport staging that is recycled after the first
+// send.
+func (s *Server) NonIdempotent(proc uint32) bool {
+	switch proc {
+	case ProcSetAttr, ProcWrite, ProcCreate, ProcMkdir, ProcSymlink,
+		ProcMknod, ProcRemove, ProcRmdir, ProcRename, ProcLink:
+		return true
+	}
+	return false
+}
+
 // RootFH returns the export root handle.
 func (s *Server) RootFH() FH {
 	return FH{FSID: s.cfg.FSID, FileID: uint64(s.fs.Root())}

@@ -6,43 +6,97 @@ package oncrpc
 // replayed WRITE could clobber newer data. The server replays the cached
 // reply instead.
 //
-// The simulated RC transport never retransmits on its own, but the DRC is
-// part of the server's contract (and a real concern for the RPC/RDMA
-// transport too, where a reconnecting client retries in-flight calls), so
-// it is implemented and tested at the dispatch layer.
+// The cache is bounded PER CLIENT (the Machine credential stands in for the
+// client address, as real servers hash it), so one client churning XIDs
+// cannot evict another client's replay window. Entries exist in two states:
+//
+//   - executing: the original call is still in a service handler. A
+//     retransmission arriving now is dropped outright (Dispatch returns a
+//     nil reply) — the original will answer, and answering twice would
+//     duplicate the reply's side effects on the transport.
+//   - completed: the reply is cached; a retransmission replays it.
+//
+// Services may implement IdempotencyClassifier to restrict caching to their
+// non-idempotent procedures; re-executing an idempotent call (GETATTR,
+// READ) is harmless and skipping the cache keeps bulk-carrying READ replies
+// out of it — cached bulk references transport staging that is recycled
+// after the first send, so replaying it would push stale bytes. Services
+// without the classifier get every completed call cached.
 
-// drcKey identifies a request for replay detection. Real servers also hash
-// the client address; the simulator's dispatcher is per-transport-server,
-// and the Machine credential stands in for the address.
-type drcKey struct {
-	machine string
-	xid     uint32
-	prog    uint32
-	proc    uint32
+// IdempotencyClassifier is optionally implemented by services whose
+// procedures differ in replay safety. NonIdempotent(proc) returning true
+// means a retransmission of proc must be answered from the cache, never
+// re-executed.
+type IdempotencyClassifier interface {
+	NonIdempotent(proc uint32) bool
+}
+
+// clientKey identifies a request within one client's replay window.
+type clientKey struct {
+	xid  uint32
+	prog uint32
+	proc uint32
 }
 
 type drcEntry struct {
-	key   drcKey
-	reply []byte
-	bulk  *Bulk
+	key       clientKey
+	executing bool
+	reply     []byte
+	bulk      *Bulk
 }
 
-// drc is a bounded FIFO replay cache.
+// drcClient is one client's bounded FIFO replay window.
+type drcClient struct {
+	entries map[clientKey]*drcEntry
+	order   []clientKey
+}
+
+// evict removes completed entries in FIFO order until at most target
+// remain. Executing placeholders are never evicted: dropping one would let
+// a retransmission re-execute a call that is still running.
+func (cl *drcClient) evict(target int) {
+	for len(cl.entries) > target {
+		idx := -1
+		for i, k := range cl.order {
+			if !cl.entries[k].executing {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return // everything in flight; tolerate transient over-capacity
+		}
+		k := cl.order[idx]
+		cl.order = append(cl.order[:idx], cl.order[idx+1:]...)
+		delete(cl.entries, k)
+	}
+}
+
+type drcState int
+
+const (
+	drcMiss drcState = iota
+	drcHit
+	drcExecuting
+)
+
+// drc is the dispatcher's replay cache: per-client bounded FIFO windows.
 type drc struct {
 	capacity int
-	entries  map[drcKey]*drcEntry
-	order    []drcKey
+	clients  map[string]*drcClient
 
-	Hits, Misses int64
+	Hits, Misses    int64
+	InProgressDrops int64 // retransmissions of still-executing calls dropped
 }
 
-// EnableDRC attaches a duplicate request cache of the given capacity to the
-// dispatcher. Must be called before serving.
+// EnableDRC attaches a duplicate request cache to the dispatcher; capacity
+// bounds the cached replies per client machine. Must be called before
+// serving.
 func (d *Dispatcher) EnableDRC(capacity int) {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	d.drc = &drc{capacity: capacity, entries: make(map[drcKey]*drcEntry)}
+	d.drc = &drc{capacity: capacity, clients: make(map[string]*drcClient)}
 }
 
 // DRCStats returns (hits, misses), or zeros when no DRC is attached.
@@ -53,25 +107,62 @@ func (d *Dispatcher) DRCStats() (hits, misses int64) {
 	return d.drc.Hits, d.drc.Misses
 }
 
-func (c *drc) lookup(k drcKey) (*drcEntry, bool) {
-	e, ok := c.entries[k]
-	if ok {
-		c.Hits++
-	} else {
-		c.Misses++
+// DRCInProgressDrops returns how many retransmissions were dropped because
+// their original call was still executing.
+func (d *Dispatcher) DRCInProgressDrops() int64 {
+	if d.drc == nil {
+		return 0
 	}
-	return e, ok
+	return d.drc.InProgressDrops
 }
 
-func (c *drc) insert(k drcKey, reply []byte, bulk *Bulk) {
-	if _, dup := c.entries[k]; dup {
+func (c *drc) client(machine string) *drcClient {
+	cl, ok := c.clients[machine]
+	if !ok {
+		cl = &drcClient{entries: make(map[clientKey]*drcEntry)}
+		c.clients[machine] = cl
+	}
+	return cl
+}
+
+func (c *drc) lookup(machine string, k clientKey) (*drcEntry, drcState) {
+	cl, ok := c.clients[machine]
+	if !ok {
+		c.Misses++
+		return nil, drcMiss
+	}
+	e, ok := cl.entries[k]
+	if !ok {
+		c.Misses++
+		return nil, drcMiss
+	}
+	if e.executing {
+		c.InProgressDrops++
+		return e, drcExecuting
+	}
+	c.Hits++
+	return e, drcHit
+}
+
+// begin installs an executing placeholder before the service handler runs,
+// closing the window where a retransmission of an in-flight call would
+// double-execute.
+func (c *drc) begin(machine string, k clientKey) {
+	cl := c.client(machine)
+	if _, dup := cl.entries[k]; dup {
 		return
 	}
-	for len(c.entries) >= c.capacity {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
+	cl.evict(c.capacity - 1)
+	cl.entries[k] = &drcEntry{key: k, executing: true}
+	cl.order = append(cl.order, k)
+}
+
+// commit completes a placeholder with the reply to replay for future
+// retransmissions.
+func (c *drc) commit(machine string, k clientKey, reply []byte, bulk *Bulk) {
+	if e, ok := c.client(machine).entries[k]; ok {
+		e.executing = false
+		e.reply = reply
+		e.bulk = bulk
 	}
-	c.entries[k] = &drcEntry{key: k, reply: reply, bulk: bulk}
-	c.order = append(c.order, k)
 }

@@ -2,6 +2,7 @@ package oncrpc
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/des"
 )
@@ -57,6 +58,123 @@ func TestDRCReplaysWithoutReexecution(t *testing.T) {
 		hits, misses := d.DRCStats()
 		if hits != 1 || misses != 3 {
 			t.Errorf("drc stats = %d/%d, want 1/3", hits, misses)
+		}
+	})
+	sim.Run()
+}
+
+// slowService executes for a fixed virtual duration, so a test can land a
+// retransmission while the original call is still inside the handler.
+type slowService struct {
+	calls int
+	delay time.Duration
+}
+
+func (s *slowService) Name() string    { return "slow" }
+func (s *slowService) Program() uint32 { return 556 }
+func (s *slowService) Version() uint32 { return 1 }
+func (s *slowService) Handle(p *des.Proc, req *ServerRequest) *ServerResponse {
+	s.calls++
+	p.Sleep(s.delay)
+	return &ServerResponse{Stat: Success, Results: []byte{byte(s.calls)}}
+}
+
+func TestDRCSuppressesDuplicateWhileExecuting(t *testing.T) {
+	d := NewDispatcher()
+	svc := &slowService{delay: time.Millisecond}
+	d.Register(svc)
+	d.EnableDRC(8)
+	sim := des.New()
+	hdr := &CallHeader{XID: 42, Prog: 556, Vers: 1, Proc: 1,
+		Cred: Auth{Flavor: AuthSys, Machine: "c0"}}
+	raw := EncodeCall(hdr, nil)
+	sim.Spawn("original", func(p *des.Proc) {
+		reply, _, err := d.Dispatch(p, raw, DispatchOpts{})
+		if err != nil || reply == nil {
+			t.Errorf("original call failed: reply=%v err=%v", reply, err)
+		}
+	})
+	sim.SpawnAt(des.Time(100*time.Microsecond), "retransmit", func(p *des.Proc) {
+		reply, bulk, err := d.Dispatch(p, raw, DispatchOpts{})
+		if reply != nil || bulk != nil || err != nil {
+			t.Errorf("mid-execution duplicate should drop silently, got reply=%v bulk=%v err=%v", reply, bulk, err)
+		}
+	})
+	sim.SpawnAt(des.Time(5*time.Millisecond), "late-retransmit", func(p *des.Proc) {
+		reply, _, err := d.Dispatch(p, raw, DispatchOpts{})
+		if err != nil || string(reply) == "" {
+			t.Errorf("post-completion duplicate should replay, got %v/%v", reply, err)
+		}
+	})
+	sim.Run()
+	if svc.calls != 1 {
+		t.Errorf("service executed %d times, want 1", svc.calls)
+	}
+	if d.DRCInProgressDrops() != 1 {
+		t.Errorf("InProgressDrops = %d, want 1", d.DRCInProgressDrops())
+	}
+}
+
+// classifierService caches only proc 7 (its sole non-idempotent procedure).
+type classifierService struct{ calls [10]int }
+
+func (s *classifierService) Name() string              { return "classified" }
+func (s *classifierService) Program() uint32           { return 557 }
+func (s *classifierService) Version() uint32           { return 1 }
+func (s *classifierService) NonIdempotent(p uint32) bool { return p == 7 }
+func (s *classifierService) Handle(p *des.Proc, req *ServerRequest) *ServerResponse {
+	s.calls[req.Header.Proc]++
+	return &ServerResponse{Stat: Success}
+}
+
+func TestDRCHonorsIdempotencyClassifier(t *testing.T) {
+	d := NewDispatcher()
+	svc := &classifierService{}
+	d.Register(svc)
+	d.EnableDRC(8)
+	sim := des.New()
+	sim.Spawn("t", func(p *des.Proc) {
+		hdr := &CallHeader{XID: 1, Prog: 557, Vers: 1, Proc: 7,
+			Cred: Auth{Flavor: AuthSys, Machine: "c0"}}
+		raw := EncodeCall(hdr, nil)
+		d.Dispatch(p, raw, DispatchOpts{})
+		d.Dispatch(p, raw, DispatchOpts{})
+		if svc.calls[7] != 1 {
+			t.Errorf("non-idempotent proc re-executed: %d", svc.calls[7])
+		}
+		hdr.Proc = 6 // idempotent: replays re-execute, harmlessly
+		raw = EncodeCall(hdr, nil)
+		d.Dispatch(p, raw, DispatchOpts{})
+		d.Dispatch(p, raw, DispatchOpts{})
+		if svc.calls[6] != 2 {
+			t.Errorf("idempotent proc should re-execute: %d", svc.calls[6])
+		}
+	})
+	sim.Run()
+}
+
+// Each client machine gets its own bounded window: one client churning
+// through XIDs must not evict another client's cached replies.
+func TestDRCPerClientBounds(t *testing.T) {
+	d := NewDispatcher()
+	svc := &countingService{}
+	d.Register(svc)
+	d.EnableDRC(4)
+	sim := des.New()
+	sim.Spawn("t", func(p *des.Proc) {
+		a := &CallHeader{XID: 1, Prog: 555, Vers: 1, Proc: 1, Cred: Auth{Flavor: AuthSys, Machine: "a"}}
+		d.Dispatch(p, EncodeCall(a, nil), DispatchOpts{})
+		// Client b floods far past the per-client capacity.
+		b := &CallHeader{Prog: 555, Vers: 1, Proc: 1, Cred: Auth{Flavor: AuthSys, Machine: "b"}}
+		for xid := uint32(1); xid <= 20; xid++ {
+			b.XID = xid
+			d.Dispatch(p, EncodeCall(b, nil), DispatchOpts{})
+		}
+		// Client a's entry survived b's churn.
+		before := svc.calls
+		d.Dispatch(p, EncodeCall(a, nil), DispatchOpts{})
+		if svc.calls != before {
+			t.Error("client a's cached reply was evicted by client b's traffic")
 		}
 	})
 	sim.Run()

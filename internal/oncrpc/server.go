@@ -44,23 +44,38 @@ type DispatchOpts struct {
 // plus any reply payload for placement. A nil error with a non-Success
 // accept status is a protocol-level rejection encoded in the reply; a
 // non-nil error means the call could not even be parsed (the transport
-// should drop the connection).
+// should drop the connection). A nil reply with a nil error means the call
+// was a retransmission of a request still executing: the transport must
+// drop it silently — the original execution will produce the reply.
 func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (reply []byte, bulkOut *Bulk, err error) {
 	hdr, args, err := DecodeCall(rawCall)
 	if err != nil {
 		return nil, nil, err
 	}
-	var key drcKey
+	key := clientKey{xid: hdr.XID, prog: hdr.Prog, proc: hdr.Proc}
 	if d.drc != nil {
-		key = drcKey{machine: hdr.Cred.Machine, xid: hdr.XID, prog: hdr.Prog, proc: hdr.Proc}
-		if e, hit := d.drc.lookup(key); hit {
+		switch e, state := d.drc.lookup(hdr.Cred.Machine, key); state {
+		case drcHit:
 			// Retransmission: replay the cached reply without re-executing.
 			return e.reply, e.bulk, nil
+		case drcExecuting:
+			// The original call is still in a handler; drop this copy.
+			return nil, nil, nil
 		}
 	}
 	svc, ok := d.services[[2]uint32{hdr.Prog, hdr.Vers}]
 	if !ok {
 		return EncodeReply(hdr.XID, ProgUnavail, nil), nil, nil
+	}
+	// Cache when the service cannot classify (conservative: everything) or
+	// classifies this procedure as non-idempotent. The placeholder goes in
+	// before Handle so a duplicate arriving mid-execution is suppressed.
+	cache := d.drc != nil
+	if cl, ok := svc.(IdempotencyClassifier); ok && cache {
+		cache = cl.NonIdempotent(hdr.Proc)
+	}
+	if cache {
+		d.drc.begin(hdr.Cred.Machine, key)
 	}
 	resp := svc.Handle(p, &ServerRequest{
 		Header:      hdr,
@@ -70,8 +85,8 @@ func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (r
 		ReplyBuf:    opts.ReplyBuf,
 	})
 	reply = EncodeReply(hdr.XID, resp.Stat, resp.Results)
-	if d.drc != nil {
-		d.drc.insert(key, reply, resp.Bulk)
+	if cache {
+		d.drc.commit(hdr.Cred.Machine, key, reply, resp.Bulk)
 	}
 	return reply, resp.Bulk, nil
 }

@@ -1,7 +1,9 @@
 package rpcrdma
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/ibsim"
@@ -53,6 +55,19 @@ type Config struct {
 	// future-work section: the server advertises its live capacity in every
 	// reply and the client throttles to the latest grant (see credits.go).
 	DynamicCredits bool
+
+	// CallTimeout arms a per-call timer (client side only): a call whose
+	// reply has not arrived within the deadline is retransmitted with the
+	// same XID, and the deadline doubles on each attempt (exponential
+	// backoff, as the kernel RPC layer's timeo/retrans do). Zero disables
+	// timeouts entirely — calls wait forever, the pre-recovery behaviour.
+	CallTimeout des.Duration
+
+	// RetryLimit bounds XID-stable retransmissions after the first send.
+	// Once exhausted the call fails with ErrTimeout and the connection is
+	// left for the recovery layer to replace. Zero means no retransmits
+	// (first timeout is fatal) when CallTimeout is set.
+	RetryLimit int
 }
 
 // hasSerial reports whether the serialized-path model is enabled.
@@ -98,6 +113,14 @@ type pending struct {
 	req  *oncrpc.Request
 	done *des.Event
 
+	// aborted is set once Roundtrip has returned: a reply handler still in
+	// flight must not fire the (already consumed) done event. handling
+	// counts reply handlers currently working on this call; while it is
+	// non-zero Roundtrip defers teardown to the last handler, so an RDMA
+	// Read in flight never lands in a released staging buffer.
+	aborted  bool
+	handling int
+
 	// Destination for reply payload placement.
 	destBuf  *ibsim.Buffer
 	destOff  int
@@ -133,13 +156,21 @@ type ClientTransport struct {
 	DropDone bool
 
 	// Stats.
-	Calls     int64
-	DoneSent  int64
-	BulkReads int64
+	Calls       int64
+	DoneSent    int64
+	BulkReads   int64
+	Timeouts    int64 // per-call timer expiries
+	Retransmits int64 // XID-stable retransmissions sent
 }
 
 // QP exposes the underlying queue pair (tests and failure injection).
 func (t *ClientTransport) QP() *ibsim.QP { return t.qp }
+
+// Config returns the transport's effective configuration (after defaults).
+func (t *ClientTransport) Config() Config { return t.cfg }
+
+// Design returns the chunking design the transport runs.
+func (t *ClientTransport) Design() Design { return t.cfg.Design }
 
 // Broken reports whether the connection has failed (QP in error state).
 func (t *ClientTransport) Broken() bool { return t.closed || t.qp.Err() != nil }
@@ -280,19 +311,79 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 	wire := append(hdr.Encode(), inline...)
 	p.Logf("rpcrdma call xid=%#x type=%v inline=%dB readsegs=%d writesegs=%d",
 		req.XID, hdr.Type, len(inline), len(hdr.ReadList), len(hdr.WriteList))
+	attempt := 0
+	t.armTimer(pend.done, t.attemptTimeout(attempt))
 	t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(req.XID), Op: ibsim.OpSend, Payload: wire})
 	if t.serial != nil {
 		t.serial.Release(1)
 	}
 
-	res := pend.done.Wait(p).(*rtResult)
+	// Wait for the reply, retransmitting on timer expiry. Registrations and
+	// wire bytes are built once above: a retransmission reuses them verbatim
+	// (same XID, same chunk advertisements), which is what lets the server's
+	// DRC recognise the duplicate. Each attempt gets a fresh done event; a
+	// reply racing the timer fires whichever event is current (TryFire), so
+	// a late reply to an earlier attempt still completes the call.
+	var res *rtResult
+	for {
+		res = pend.done.Wait(p).(*rtResult)
+		if res.err == nil || !errors.Is(res.err, ErrTimeout) {
+			break
+		}
+		t.Timeouts++
+		if attempt >= t.cfg.RetryLimit || t.Broken() {
+			break
+		}
+		attempt++
+		t.Retransmits++
+		pend.done = des.NewEvent(t.node.Sim())
+		t.armTimer(pend.done, t.attemptTimeout(attempt))
+		t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(req.XID), Op: ibsim.OpSend, Payload: wire})
+	}
 	delete(t.pending, req.XID)
+	pend.aborted = true
 	p.Logf("rpcrdma done xid=%#x bulk=%dB err=%v", req.XID, res.bulkLen, res.err)
+	if pend.handling > 0 {
+		// A reply handler is still pulling chunks for this call; it owns
+		// the buffer release now (see handleReply) so its in-flight RDMA
+		// Reads cannot land in recycled staging. The staging copy still
+		// happens here, while the chunk is guaranteed alive.
+		t.stagingCopy(p, pend, res)
+		if res.err != nil {
+			return nil, res.err
+		}
+		return &oncrpc.Response{Header: res.body, BulkLen: res.bulkLen}, nil
+	}
 	t.teardown(p, pend, res)
 	if res.err != nil {
 		return nil, res.err
 	}
 	return &oncrpc.Response{Header: res.body, BulkLen: res.bulkLen}, nil
+}
+
+// attemptTimeout returns the deadline for the given attempt: CallTimeout
+// doubled per retransmission (exponential backoff), zero when disabled.
+func (t *ClientTransport) attemptTimeout(attempt int) des.Duration {
+	if t.cfg.CallTimeout <= 0 {
+		return 0
+	}
+	if attempt > 16 {
+		attempt = 16 // clamp the shift; deadlines beyond this are academic
+	}
+	return t.cfg.CallTimeout << attempt
+}
+
+// armTimer spawns a watchdog that fires done with ErrTimeout at the
+// deadline. Losing the race to a real reply makes it a harmless no-op, so
+// stale timers from completed attempts never need cancelling.
+func (t *ClientTransport) armTimer(done *des.Event, d des.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.node.Sim().Spawn(t.node.Name()+"/rpcrdma-timer", func(tp *des.Proc) {
+		tp.Sleep(d)
+		done.TryFire(&rtResult{err: fmt.Errorf("%w after %v", ErrTimeout, d)})
+	})
 }
 
 // setupRecvPlacement prepares the reply-payload destination per design.
@@ -325,8 +416,15 @@ func (t *ClientTransport) setupRecvPlacement(p *des.Proc, pend *pending, req *on
 	}
 }
 
-// teardown releases per-call registrations and performs the staging copy.
+// teardown performs the staging copy and releases per-call registrations.
 func (t *ClientTransport) teardown(p *des.Proc, pend *pending, res *rtResult) {
+	t.stagingCopy(p, pend, res)
+	t.release(p, pend)
+}
+
+// stagingCopy moves a buffered reply payload from transport staging to the
+// caller's buffer.
+func (t *ClientTransport) stagingCopy(p *des.Proc, pend *pending, res *rtResult) {
 	if pend.needCopy && res.err == nil && res.bulkLen > 0 && pend.req.RecvBulk != nil {
 		// The staging-to-caller copy runs in the client's RPC completion
 		// path; under the serialized-stack model it holds the same lock as
@@ -343,6 +441,10 @@ func (t *ClientTransport) teardown(p *des.Proc, pend *pending, res *rtResult) {
 			copy(pend.req.RecvBulk.Data, d[:min(res.bulkLen, len(d))])
 		}
 	}
+}
+
+// release frees the call's registrations and staging chunks.
+func (t *ClientTransport) release(p *des.Proc, pend *pending) {
 	if pend.destReg != nil {
 		t.mgr.DeregisterExternal(p, pend.destReg)
 	}
@@ -400,6 +502,10 @@ func (t *ClientTransport) receiver(p *des.Proc) {
 }
 
 func (t *ClientTransport) handleReply(p *des.Proc, pend *pending, hdr *Header, body []byte) {
+	if pend.aborted {
+		return // caller gave up; staging buffers already released
+	}
+	pend.handling++
 	res := &rtResult{}
 	switch hdr.Type {
 	case MsgRDMA:
@@ -440,7 +546,19 @@ func (t *ClientTransport) handleReply(p *des.Proc, pend *pending, hdr *Header, b
 	default:
 		res.err = fmt.Errorf("%w: reply type %v", ErrBadHeader, hdr.Type)
 	}
-	pend.done.Fire(res)
+	pend.handling--
+	if pend.aborted {
+		if pend.handling == 0 {
+			// Roundtrip returned while we were in flight and deferred the
+			// buffer release to us (the staging copy, if any, already ran).
+			t.release(p, pend)
+		}
+		return
+	}
+	// TryFire: a retransmission timer may have consumed this attempt's
+	// event already; if Roundtrip re-armed, pend.done is the live attempt
+	// and this (valid, XID-matched) reply completes it.
+	pend.done.TryFire(res)
 }
 
 // pullChunks performs the Read-Read data pull: RDMA Read each advertised
@@ -462,6 +580,9 @@ func (t *ClientTransport) pullChunks(p *des.Proc, pend *pending, hdr *Header) (i
 			Local:     []ibsim.LocalSeg{{Buf: pend.destBuf, Off: dstOff, Len: n}},
 			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
 		})
+		if pend.aborted {
+			return total, fmt.Errorf("%w: call abandoned mid-pull", ErrClosed)
+		}
 		if cqe.Err != nil {
 			return total, fmt.Errorf("%w: chunk read: %v", ErrTransport, cqe.Err)
 		}
@@ -515,12 +636,19 @@ func (t *ClientTransport) sendDone(xid uint32) {
 	t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(xid), Op: ibsim.OpSend, Payload: done.Encode()})
 }
 
+// failAll completes every pending call with err. Calls fail in ascending
+// XID order so the resulting wakeups are deterministic (map iteration order
+// would leak into the event schedule otherwise).
 func (t *ClientTransport) failAll(err error) {
-	for xid, pend := range t.pending {
+	xids := make([]uint32, 0, len(t.pending))
+	for xid := range t.pending {
+		xids = append(xids, xid)
+	}
+	sort.Slice(xids, func(i, j int) bool { return xids[i] < xids[j] })
+	for _, xid := range xids {
+		pend := t.pending[xid]
 		delete(t.pending, xid)
-		if !pend.done.Fired() {
-			pend.done.Fire(&rtResult{err: err})
-		}
+		pend.done.TryFire(&rtResult{err: err})
 	}
 }
 

@@ -1,0 +1,107 @@
+package rpcrdma
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/ibsim"
+	"repro/internal/memreg"
+	"repro/internal/oncrpc"
+)
+
+// A call to a server that never replies must fail with ErrTimeout after
+// exhausting its retransmissions, with exponential backoff between attempts
+// (1ms, then 2ms, then 4ms here).
+func TestCallTimeoutExhaustsRetries(t *testing.T) {
+	sim := des.New()
+	fab := ibsim.NewFabric(sim, true)
+	nodeCfg := ibsim.NodeConfig{Cores: 2, PortBandwidth: 900e6, PortLatency: 3 * time.Microsecond}
+	cCfg, sCfg := nodeCfg, nodeCfg
+	cCfg.Name, sCfg.Name = "client", "server"
+	cn := fab.AddNode(cCfg)
+	sn := fab.AddNode(sCfg)
+	sim.Spawn("setup", func(p *des.Proc) {
+		cq, sq := fab.Connect(cn, sn, ibsim.QPConfig{})
+		// The far end posts receives (no RNR) but nobody ever replies.
+		for i := 0; i < 16; i++ {
+			sq.PostRecv(uint64(i), 4096)
+		}
+		mgr := memreg.NewManager(p, cn, memreg.Config{Mode: memreg.Regular})
+		ct := NewClientTransport(p, cq, mgr, Config{
+			CallTimeout: time.Millisecond, RetryLimit: 2,
+		})
+		start := sim.Now()
+		_, err := ct.Roundtrip(p, &oncrpc.Request{XID: 7, Header: []byte("call")})
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		elapsed := time.Duration(sim.Now() - start)
+		if elapsed < 7*time.Millisecond || elapsed > 8*time.Millisecond {
+			t.Errorf("elapsed = %v, want ~7ms (1+2+4 backoff)", elapsed)
+		}
+		if ct.Timeouts != 3 || ct.Retransmits != 2 {
+			t.Errorf("Timeouts=%d Retransmits=%d, want 3 and 2", ct.Timeouts, ct.Retransmits)
+		}
+		if len(ct.pending) != 0 {
+			t.Errorf("pending map should be empty, has %d entries", len(ct.pending))
+		}
+	})
+	sim.Run()
+}
+
+// A reply that arrives after the first timer expiry (but before retries are
+// exhausted) still completes the call: the retransmission carries the same
+// XID, so whichever server response lands first finishes the attempt in
+// progress.
+func TestSlowReplyCompletesRetransmittedCall(t *testing.T) {
+	sim := des.New()
+	fab := ibsim.NewFabric(sim, true)
+	nodeCfg := ibsim.NodeConfig{Cores: 2, PortBandwidth: 900e6, PortLatency: 3 * time.Microsecond}
+	cCfg, sCfg := nodeCfg, nodeCfg
+	cCfg.Name, sCfg.Name = "client", "server"
+	cn := fab.AddNode(cCfg)
+	sn := fab.AddNode(sCfg)
+	sim.Spawn("setup", func(p *des.Proc) {
+		cq, sq := fab.Connect(cn, sn, ibsim.QPConfig{})
+		// Hand-rolled slow server: absorbs transmissions of XID 7 and sends
+		// one (delayed) reply after 2.5 ms — past the first two deadlines.
+		for i := 0; i < 16; i++ {
+			sq.PostRecv(uint64(i), 4096)
+		}
+		received := 0
+		sim.Spawn("slow-server", func(srvp *des.Proc) {
+			for {
+				cqe := sq.RecvCQ.Wait(srvp)
+				if cqe == nil || cqe.Err != nil {
+					return
+				}
+				received++
+				if received == 1 {
+					reply := &Header{XID: 7, Credits: 1, Type: MsgRDMA}
+					wire := append(reply.Encode(), []byte("pong")...)
+					sim.SpawnAt(sim.Now()+des.Time(2500*time.Microsecond), "reply", func(*des.Proc) {
+						sq.PostSend(&ibsim.SendWQE{WRID: 99, Op: ibsim.OpSend, Payload: wire})
+					})
+				}
+			}
+		})
+		mgr := memreg.NewManager(p, cn, memreg.Config{Mode: memreg.Regular})
+		ct := NewClientTransport(p, cq, mgr, Config{
+			CallTimeout: time.Millisecond, RetryLimit: 3,
+		})
+		resp, err := ct.Roundtrip(p, &oncrpc.Request{XID: 7, Header: []byte("ping")})
+		if err != nil {
+			t.Errorf("roundtrip: %v", err)
+			return
+		}
+		if string(resp.Header) != "pong" {
+			t.Errorf("reply body = %q, want \"pong\"", resp.Header)
+		}
+		if ct.Retransmits < 1 {
+			t.Errorf("Retransmits = %d, want >= 1", ct.Retransmits)
+		}
+	})
+	sim.Run()
+}

@@ -35,6 +35,19 @@ type serverConn struct {
 	srv *ServerTransport
 	qp  *ibsim.QP
 
+	// dead marks the connection's lifecycle state: once set (by connDead)
+	// the transport drops this connection's queued tasks instead of serving
+	// them and releases replies instead of parking them — no reply can ever
+	// be delivered and no RDMA_DONE can ever arrive.
+	dead bool
+
+	// parkedOrder records the XIDs parked for this connection, in park
+	// order, so teardown releases them deterministically (iterating the
+	// shared parked map would leak map ordering into the event schedule).
+	// Entries already released by a DONE are left in place; releaseParked
+	// is a no-op for them.
+	parkedOrder []uint32
+
 	// Per-connection reply-buffer accounting, used when dynamic credits
 	// are enabled: a client that pins replies exhausts only its own pool
 	// and only its own grant.
@@ -58,12 +71,14 @@ type ServerTransport struct {
 	closed     bool
 
 	// Stats.
-	Requests    int64
-	LongCalls   int64
-	LongReplies int64
-	BulkReads   int64
-	BulkWrites  int64
-	DoneRecv    int64
+	Requests     int64
+	LongCalls    int64
+	LongReplies  int64
+	BulkReads    int64
+	BulkWrites   int64
+	DoneRecv     int64
+	ShortWrites  int64 // replies whose bulk exceeded the client's chunk capacity
+	TasksDropped int64 // queued tasks discarded because their connection died
 }
 
 // NewServerTransport creates the server engine and starts its worker pool.
@@ -118,13 +133,7 @@ func (s *ServerTransport) Serve(qp *ibsim.QP) {
 		for {
 			cqe := qp.RecvCQ.Wait(p)
 			if cqe == nil || cqe.Err != nil {
-				// Connection dead: release every reply still parked for it
-				// (an RDMA_DONE can never arrive on a broken connection).
-				for key := range s.parked {
-					if key.conn == conn {
-						s.releaseParked(p, key)
-					}
-				}
+				s.connDead(p, conn)
 				return
 			}
 			qp.PostRecv(cqe.WRID, s.cfg.recvBufSize())
@@ -151,8 +160,29 @@ func (s *ServerTransport) worker(p *des.Proc) {
 	}
 }
 
+// connDead transitions a connection to the dead state and releases every
+// reply still parked for it — an RDMA_DONE can never arrive on a broken
+// connection. It is idempotent, and releases follow park order so the
+// resulting reply-pool wakeups are deterministic.
+func (s *ServerTransport) connDead(p *des.Proc, conn *serverConn) {
+	if conn.dead {
+		return
+	}
+	conn.dead = true
+	for _, xid := range conn.parkedOrder {
+		s.releaseParked(p, connXID{conn, xid})
+	}
+	conn.parkedOrder = nil
+}
+
 func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
 	hdr := task.hdr
+	if task.conn.dead {
+		// The connection died while this message sat in the work queue;
+		// serving it would park a reply nothing can ever release.
+		s.TasksDropped++
+		return
+	}
 	if hdr.Type == MsgDone {
 		s.DoneRecv++
 		// DONE processing crosses the same serialized receive path as any
@@ -274,7 +304,10 @@ func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
 	if bulkInChk != nil {
 		s.mgr.Put(p, bulkInChk)
 	}
-	if err != nil {
+	if err != nil || reply == nil {
+		// err: dispatch failure. reply == nil: the dispatcher suppressed a
+		// duplicate of a call still executing (DRC in-progress entry) — the
+		// original execution will produce the reply; this copy just drops.
 		if replyStaging != nil {
 			s.mgr.Put(p, replyStaging)
 		}
@@ -358,7 +391,13 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 			s.mgr.RegisterChunk(p, staging, bulkOut.Len)
 		}
 		srcBuf := staging.Buf
-		pushed := s.pushBulk(p, qp, srcBuf, bulkOut.Len, call.WriteList)
+		pushed, residual := s.pushBulk(p, qp, srcBuf, bulkOut.Len, call.WriteList)
+		if residual > 0 {
+			// The client's advertised write chunks cannot hold the payload.
+			// The annotated WriteList already tells the client how much
+			// landed; count the truncation so it is visible server-side too.
+			s.ShortWrites++
+		}
 		rh.WriteList = pushed
 	}
 
@@ -389,7 +428,11 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 			copy(d, reply)
 		}
 		s.node.CPU.Copy(p, len(reply))
-		rh.ReplyChunk = s.pushBulk(p, qp, longChk.Buf, len(reply), call.ReplyChunk)
+		var residual int
+		rh.ReplyChunk, residual = s.pushBulk(p, qp, longChk.Buf, len(reply), call.ReplyChunk)
+		if residual > 0 {
+			s.ShortWrites++
+		}
 		rh.Type = MsgNoMsg
 		reply = nil
 	}
@@ -412,9 +455,11 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 }
 
 // pushBulk RDMA-Writes n bytes from src into the peer segments, returning
-// the segments annotated with actual lengths. Writes are unsignaled except
-// implicitly through the following send (Write-then-Send ordering).
-func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer, n int, dst []Segment) []Segment {
+// the segments annotated with actual lengths plus the residual byte count
+// that did not fit in the peer's advertised capacity (0 on a full push).
+// Writes are unsignaled except implicitly through the following send
+// (Write-then-Send ordering).
+func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer, n int, dst []Segment) ([]Segment, int) {
 	var out []Segment
 	off := 0
 	for _, seg := range dst {
@@ -435,7 +480,7 @@ func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer,
 		off += l
 		n -= l
 	}
-	return out
+	return out, n
 }
 
 // replyReadRead sends a Read-Read design reply: expose the reply data (and
@@ -504,6 +549,18 @@ func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Hea
 	}
 
 	switch {
+	case len(park) > 0 && task.conn.dead:
+		// The connection died while this reply was being built: no DONE can
+		// ever release it, so free the buffers and the slot immediately
+		// instead of parking (the leak this lifecycle state machine closes).
+		for _, c := range park {
+			s.mgr.Put(p, c)
+		}
+		if task.conn.replySlots != nil {
+			task.conn.replySlots.Release(1)
+		} else {
+			s.replySlots.Release(1)
+		}
 	case len(park) > 0:
 		// The reply-buffer pool bounds how many replies can sit waiting for
 		// DONE (slot reserved above). With the original design's single
@@ -512,6 +569,7 @@ func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Hea
 		// — and the grant — are per connection, so a misbehaving client
 		// wedges only itself.
 		task.conn.parked++
+		task.conn.parkedOrder = append(task.conn.parkedOrder, call.XID)
 		s.parked[connXID{task.conn, call.XID}] = &parkedReply{chunks: park}
 	case willPark:
 		// Reserved but nothing ended up parked (e.g. squeezed inline).

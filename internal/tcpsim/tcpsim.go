@@ -270,7 +270,8 @@ func (l *Listener) handle(p *des.Proc, msg *message) {
 		Bulk:        msg.bulk,
 		RecvBulkCap: l.cfg.MaxBulk,
 	})
-	if err != nil {
+	if err != nil || reply == nil {
+		// nil reply: duplicate of a call still executing — drop silently.
 		return
 	}
 	bulkLen := 0

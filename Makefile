@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet faults race-runner bench bench-record
+.PHONY: build test check vet faults trace-check race-runner bench bench-record
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet faults
+check: vet faults trace-check
 	$(GO) test -race ./...
 
 # faults runs the failure-injection and recovery suite under the race
@@ -26,6 +26,15 @@ faults:
 
 vet:
 	$(GO) vet ./...
+
+# trace-check runs the observability layer's suite under the race detector:
+# the trace package's unit and invariant-checker tests, the trace-driven
+# invariants over real Read-Read/Read-Write runs (WQE/CQE pairing, MR
+# exposure bounds, server-side no-remote-exposure), and the traced fig4
+# end-to-end experiment.
+trace-check:
+	$(GO) test -race -run 'Trace|Chrome|Summary|Ring|Nil|Check|Histograms|Emit' \
+		./internal/trace/ ./internal/core/ ./internal/experiments/
 
 # race-runner focuses the race detector on the concurrency boundary: the
 # sweep runner and the kernel it fans out, plus the experiments package

@@ -11,7 +11,13 @@
 // independent simulations fanned across the machine's cores (see
 // internal/experiments/runner) and prints one row per point; -workers pins
 // the concurrency. The per-run inspection flags (-metrics, -latency,
-// -trace) apply only to single runs.
+// -trace, -tracelog) apply only to single runs.
+//
+// -trace FILE records the run's structured virtual-time events in every
+// layer (DES kernel, fabric, RPC/RDMA, ONC RPC, NFS) and writes them as a
+// Chrome trace-event JSON file for chrome://tracing or ui.perfetto.dev,
+// plus a per-layer span summary and transport latency histograms on stdout.
+// -tracelog streams the older free-form protocol log lines to stderr.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -43,7 +50,8 @@ func main() {
 	cacheGB := flag.Int("server-mem", 4, "server memory in GiB (disk back end)")
 	metrics := flag.Bool("metrics", false, "print a full cluster metrics snapshot")
 	latency := flag.Bool("latency", false, "print per-procedure latency histograms")
-	trace := flag.Bool("trace", false, "stream protocol trace lines to stderr (very verbose)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	traceLog := flag.Bool("tracelog", false, "stream protocol trace lines to stderr (very verbose)")
 	sweep := flag.Int("sweep", 0, "sweep thread counts 1..N in parallel instead of one run")
 	workers := flag.Int("workers", 0, "concurrent simulations for -sweep (0 = one per core)")
 	flag.Parse()
@@ -100,8 +108,12 @@ func main() {
 	}
 
 	cluster := core.NewCluster(cfg)
-	if *trace {
+	if *traceLog {
 		cluster.EnableTrace(os.Stderr)
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = cluster.EnableTracing(1 << 20)
 	}
 	if *latency {
 		cluster.Start("latency-setup", func(p *des.Proc) {
@@ -144,6 +156,24 @@ func main() {
 				continue
 			}
 			fmt.Printf("  %-12s %s\n", nfs3.ProcName(proc), h.Summary())
+		}
+	}
+	if tracer != nil {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fatal("trace: %v", ferr)
+		}
+		events := tracer.Events()
+		if werr := trace.WriteChrome(f, events); werr != nil {
+			fatal("trace: %v", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fatal("trace: %v", cerr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events, %d dropped)\n", *traceOut, len(events), tracer.Dropped())
+		fmt.Println(trace.Summary(events))
+		for _, nh := range tracer.Histograms() {
+			fmt.Printf("  %-16s %s\n", nh.Name, nh.Hist.Summary())
 		}
 	}
 }

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	nfsrdma-experiments [-scale N] [-markdown] [-only fig5,fig7,...]
+//	nfsrdma-experiments [-scale N] [-markdown] [-only fig4,fig5,fig7,...]
 //	                    [-workers N] [-bench-out BENCH.json] [-bench-note S]
+//	                    [-trace TRACE.json]
 //
 // -scale divides workload sizes (1 = the paper's sizes; the default 4 keeps
 // a full run to a few minutes of wall-clock time). Results are simulated
@@ -18,6 +19,11 @@
 // writes a JSON benchmark record (see README.md, "Benchmark records") —
 // the repo's perf trajectory is the series BENCH_1.json, BENCH_2.json, ...
 // committed over time.
+//
+// -trace writes the fig4 run's structured event stream as a Chrome
+// trace-event JSON file (load it in chrome://tracing or https://ui.perfetto.dev)
+// and prints a per-layer span summary. It implies fig4 when -only does not
+// already select it.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // benchRecord is the schema of a BENCH_N.json file.
@@ -56,10 +63,11 @@ type figureBench struct {
 func main() {
 	scale := flag.Int("scale", 4, "workload scale divisor (1 = paper sizes)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
-	only := flag.String("only", "", "comma-separated subset: table1,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations,recovery")
+	only := flag.String("only", "", "comma-separated subset: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations,recovery")
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per core, 1 = sequential)")
 	benchOut := flag.String("bench-out", "", "write a JSON wall-clock benchmark record to this file")
 	benchNote := flag.String("bench-note", "", "free-form annotation stored in the benchmark record")
+	traceOut := flag.String("trace", "", "write the fig4 run's Chrome trace-event JSON to this file (implies fig4)")
 	flag.Parse()
 
 	experiments.SetParallelism(*workers)
@@ -67,10 +75,17 @@ func main() {
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if k == "figure4" { // long-form alias
+				k = "fig4"
+			}
+			want[k] = true
 		}
 	}
-	known := []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations", "recovery"}
+	if *traceOut != "" && len(want) > 0 {
+		want["fig4"] = true
+	}
+	known := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations", "recovery"}
 	for k := range want {
 		found := false
 		for _, ok := range known {
@@ -115,6 +130,33 @@ func main() {
 
 	if sel("table1") {
 		emit(experiments.Table1())
+	}
+	if sel("fig4") {
+		timed("fig4", func() {
+			r := experiments.RunFigure4(s)
+			emit(r.PerProc)
+			emit(r.Transport)
+			emit(r.Counters)
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+					os.Exit(1)
+				}
+				events := r.Tracer.Events()
+				if err := trace.WriteChrome(f, events); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+					os.Exit(1)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s (%d events, %d dropped)\n",
+					*traceOut, len(events), r.Tracer.Dropped())
+				fmt.Println(trace.Summary(events))
+			}
+		})
 	}
 	if sel("fig5") || sel("fig6") {
 		timed("fig5+6", func() {

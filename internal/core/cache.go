@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/des"
 	"repro/internal/nfs3"
+	"repro/internal/trace"
 )
 
 // Client-side metadata caching: the attribute cache and lookup (dnlc)
@@ -14,8 +15,9 @@ import (
 
 // AttrCache caches fattr3 results and directory lookups with a TTL.
 type AttrCache struct {
-	sim *des.Sim
-	ttl des.Duration
+	sim   *des.Sim
+	ttl   des.Duration
+	track string // client node name, for trace instants
 
 	attrs   map[nfs3.FH]attrEntry
 	lookups map[lookupKey]lookupEntry
@@ -46,6 +48,7 @@ func (c *Client) EnableAttrCache(ttl des.Duration) *AttrCache {
 	c.attrCache = &AttrCache{
 		sim:     c.Node.Sim(),
 		ttl:     ttl,
+		track:   c.Node.Name(),
 		attrs:   make(map[nfs3.FH]attrEntry),
 		lookups: make(map[lookupKey]lookupEntry),
 	}
@@ -59,13 +62,22 @@ func (ac *AttrCache) putAttr(fh nfs3.FH, attr nfs3.FAttr) {
 	ac.attrs[fh] = attrEntry{attr: attr, expires: ac.sim.Now() + des.Time(ac.ttl)}
 }
 
+// mark emits a cache hit/miss instant when tracing is on.
+func (ac *AttrCache) mark(kind trace.Kind, name string) {
+	if tr := ac.sim.Tracer(); tr != nil {
+		tr.Instant(int64(ac.sim.Now()), trace.LayerCore, kind, ac.track, name, 0, 0)
+	}
+}
+
 func (ac *AttrCache) getAttr(fh nfs3.FH) (nfs3.FAttr, bool) {
 	e, ok := ac.attrs[fh]
 	if !ok || ac.sim.Now() >= e.expires {
 		ac.AttrMisses++
+		ac.mark(trace.KindCacheMiss, "attr-miss")
 		return nfs3.FAttr{}, false
 	}
 	ac.AttrHits++
+	ac.mark(trace.KindCacheHit, "attr-hit")
 	return e.attr, true
 }
 
@@ -81,9 +93,11 @@ func (ac *AttrCache) getLookup(dir nfs3.FH, name string) (nfs3.FH, bool) {
 	e, ok := ac.lookups[lookupKey{dir, name}]
 	if !ok || ac.sim.Now() >= e.expires {
 		ac.LookupMisses++
+		ac.mark(trace.KindCacheMiss, "lookup-miss")
 		return nfs3.FH{}, false
 	}
 	ac.LookupHits++
+	ac.mark(trace.KindCacheHit, "lookup-hit")
 	return e.fh, true
 }
 

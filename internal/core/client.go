@@ -26,6 +26,23 @@ type Client struct {
 	attrCache *AttrCache            // nil unless EnableAttrCache was called
 	dataCache *DataCache            // nil unless EnableDataCache was called
 	recovery  *recoveringTransport  // nil unless EnableRecovery was called
+
+	// Transport counters carried over from connections retired by Reconnect,
+	// so TransportStats stays cumulative across transport swaps.
+	lostTimeouts    int64
+	lostRetransmits int64
+}
+
+// TransportStats returns cumulative RDMA transport timeout and
+// retransmission counts across every connection this client has used,
+// including ones replaced by Reconnect. Zeros on TCP transports.
+func (c *Client) TransportStats() (timeouts, retransmits int64) {
+	timeouts, retransmits = c.lostTimeouts, c.lostRetransmits
+	if c.RDMA != nil {
+		timeouts += c.RDMA.Timeouts
+		retransmits += c.RDMA.Retransmits
+	}
+	return timeouts, retransmits
 }
 
 // Buffer is client application memory used for file I/O: it is backed by a

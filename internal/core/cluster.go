@@ -17,6 +17,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
 	"repro/internal/tcpsim"
+	"repro/internal/trace"
 	"repro/internal/vfs"
 )
 
@@ -227,6 +228,7 @@ func NewCluster(cfg Config) *Cluster {
 		}
 		for _, cl := range c.Clients {
 			cl.NFS = nfs3.NewClient(cl.Transport, cl.Node.Name())
+			cl.NFS.AttachSim(sim)
 			// Bootstrap through the MOUNT protocol, as a real client would.
 			mc := nfs3.NewMountClient(cl.Transport, cl.Node.Name())
 			root, err := mc.Mount(p, "/")
@@ -246,6 +248,16 @@ func newClientTransport(p *des.Proc, cq *ibsim.QP, cl *Client) *rpcrdma.ClientTr
 	cfg := cl.cluster.Cfg.Profile.RDMAClient
 	cfg.Design = cl.cluster.Cfg.Design
 	return rpcrdma.NewClientTransport(p, cq, cl.Mgr, cfg)
+}
+
+// EnableTracing installs a structured tracer on the cluster's simulation
+// and returns it. Call before Run; capacity <= 0 selects the default ring
+// size. Every layer — kernel, fabric, transport, RPC, NFS, core — starts
+// emitting into it immediately.
+func (c *Cluster) EnableTracing(capacity int) *trace.Tracer {
+	tr := trace.New(capacity)
+	c.Sim.SetTracer(tr)
+	return tr
 }
 
 // Start spawns a workload process that begins once the cluster is wired.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/nfs3"
+	"repro/internal/trace"
 )
 
 // Client-side data caching with close-to-open consistency — the standard
@@ -194,12 +195,21 @@ func (f *File) ReadAtCached(p *des.Proc, dst []byte, off int64) (int, bool, erro
 			break
 		}
 		idx := pos / dataCachePageSize
+		tr := f.c.Node.Sim().Tracer()
 		pg, ok := cf.pages[idx]
 		if ok {
 			dc.Hits++
+			if tr != nil {
+				tr.Instant(int64(p.Now()), trace.LayerCore, trace.KindCacheHit,
+					f.c.Node.Name(), "data-hit", uint64(idx), 0)
+			}
 			dc.touch(pg)
 		} else {
 			dc.Misses++
+			if tr != nil {
+				tr.Instant(int64(p.Now()), trace.LayerCore, trace.KindCacheMiss,
+					f.c.Node.Name(), "data-miss", uint64(idx), 0)
+			}
 			var err error
 			pg, err = dc.fetch(p, f, cf, idx)
 			if err != nil {

@@ -42,7 +42,7 @@ type Metrics struct {
 func (c *Cluster) Metrics(since des.Time) Metrics {
 	m := Metrics{
 		SimTime:           c.Sim.Now(),
-		ServerCPUPct:      c.Server.Node.CPU.Utilization() * 100,
+		ServerCPUPct:      c.Server.Node.CPU.UtilizationSince(since) * 100,
 		ServerInterrupts:  c.Server.Node.CPU.Interrupts(),
 		ServerTPTUtilPct:  c.Server.Node.HCA.TPTEngineUtilization(since) * 100,
 		ServerExposedMRs:  c.Server.Node.HCA.RemoteExposedBytes(),
@@ -67,7 +67,7 @@ func (c *Cluster) Metrics(since des.Time) Metrics {
 		}
 	}
 	for _, cl := range c.Clients {
-		m.ClientCPUPct = append(m.ClientCPUPct, cl.Node.CPU.Utilization()*100)
+		m.ClientCPUPct = append(m.ClientCPUPct, cl.Node.CPU.UtilizationSince(since)*100)
 	}
 	return m
 }

@@ -53,6 +53,56 @@ func TestMetricsSnapshot(t *testing.T) {
 	cluster.Run()
 }
 
+// TestMetricsWindowing pins the regression where CPU utilizations ignored
+// the snapshot's `since` argument: a window opened after all the work is
+// done must report idle CPUs on every host, client and server alike, while
+// the full-run snapshot still shows the activity.
+func TestMetricsWindowing(t *testing.T) {
+	cluster := NewCluster(Config{
+		Profile: profiles.LinuxSDR(), Transport: TransportRDMA,
+		Design: rpcrdma.ReadWrite, RegMode: memreg.Regular, Clients: 2,
+	})
+	cluster.Start("windowed-io", func(p *des.Proc) {
+		cl := cluster.Clients[0]
+		f, err := cl.Create(p, "w")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		buf := cl.NewBuffer(256 << 10)
+		for i := 0; i < 16; i++ {
+			if _, err := f.WriteAt(p, buf, 0, int64(i)<<18, 256<<10, false); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+		busyEnd := p.Now()
+		p.Sleep(des.Duration(busyEnd)) // an equally long fully idle tail
+
+		full := cluster.Metrics(0)
+		tail := cluster.Metrics(busyEnd)
+		if full.ClientCPUPct[0] <= 0 {
+			t.Fatalf("full-run client CPU = %v, want > 0", full.ClientCPUPct[0])
+		}
+		if full.ServerCPUPct <= 0 {
+			t.Fatalf("full-run server CPU = %v, want > 0", full.ServerCPUPct)
+		}
+		for i, u := range tail.ClientCPUPct {
+			if u > 0.01 {
+				t.Errorf("idle-window client%d CPU = %v%%, want ~0 (since ignored?)", i, u)
+			}
+		}
+		if tail.ServerCPUPct > 0.01 {
+			t.Errorf("idle-window server CPU = %v%%, want ~0 (since ignored?)", tail.ServerCPUPct)
+		}
+		// The busy half alone must show at least the full-run average.
+		if half := cluster.Metrics(0); half.ClientCPUPct[0] < tail.ClientCPUPct[0] {
+			t.Errorf("window inversion: full %v < tail %v", half.ClientCPUPct[0], tail.ClientCPUPct[0])
+		}
+	})
+	cluster.Run()
+}
+
 func TestTraceStreamsEvents(t *testing.T) {
 	cluster := NewCluster(Config{
 		Profile: profiles.LinuxSDR(), Transport: TransportRDMA,

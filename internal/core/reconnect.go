@@ -25,6 +25,10 @@ func (c *Client) Reconnect(p *des.Proc) error {
 	if c.RDMA == nil {
 		return fmt.Errorf("core: reconnect applies to RDMA transports only")
 	}
+	// Bank the retired connection's counters so TransportStats stays
+	// cumulative across the swap.
+	c.lostTimeouts += c.RDMA.Timeouts
+	c.lostRetransmits += c.RDMA.Retransmits
 	c.RDMA.Close()
 	cluster := c.cluster
 	cq, sq := cluster.Fabric.Connect(c.Node, cluster.Server.Node, ibsim.QPConfig{})

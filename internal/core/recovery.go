@@ -7,6 +7,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/oncrpc"
 	"repro/internal/rpcrdma"
+	"repro/internal/trace"
 )
 
 // RetryPolicy tunes transparent connection recovery (EnableRecovery).
@@ -79,6 +80,10 @@ func (r *recoveringTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncr
 			return nil, rerr
 		}
 		r.replays++
+		if tr := r.cl.cluster.Sim.Tracer(); tr != nil {
+			tr.Instant(int64(p.Now()), trace.LayerCore, trace.KindReplay,
+				r.cl.Node.Name(), "replay", uint64(req.XID), int64(attempt))
+		}
 	}
 }
 
@@ -96,7 +101,16 @@ func (r *recoveringTransport) ensureConnected(p *des.Proc) error {
 	}
 	ev := des.NewEvent(r.cl.cluster.Sim)
 	r.reconnecting = ev
+	start := p.Now()
 	err := r.cl.Reconnect(p)
+	if tr := r.cl.cluster.Sim.Tracer(); tr != nil {
+		errFlag := int64(0)
+		if err != nil {
+			errFlag = 1
+		}
+		tr.Span(int64(start), int64(p.Now()), trace.LayerCore, trace.KindReconnect,
+			r.cl.Node.Name(), "reconnect", uint64(r.reconnects+1), errFlag)
+	}
 	r.reconnecting = nil
 	ev.Fire(nil)
 	if err != nil {

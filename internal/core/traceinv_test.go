@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+	"repro/internal/trace"
+)
+
+// runTraced builds a fault-free traced cluster in the given design, runs a
+// small mixed workload (bulk direct-I/O reads, buffered writes, metadata),
+// and returns the complete event stream.
+func runTraced(t *testing.T, design rpcrdma.Design) []trace.Event {
+	t.Helper()
+	cluster := NewCluster(Config{
+		Profile: profiles.SolarisSDR(), Transport: TransportRDMA,
+		Design: design, RegMode: memreg.Regular, CopyData: true,
+	})
+	tr := cluster.EnableTracing(1 << 20)
+	cluster.Start("traceinv-io", func(p *des.Proc) {
+		cl := cluster.Clients[0]
+		f, err := cl.Create(p, "data")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		buf := cl.NewBuffer(128 << 10)
+		for i := 0; i < 8; i++ {
+			if _, err := f.WriteAt(p, buf, 0, int64(i)<<17, 128<<10, false); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if _, _, err := f.ReadAt(p, buf, 0, int64(i)<<17, 128<<10, design == rpcrdma.ReadWrite); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}
+		if _, err := cl.Stat(p, "data"); err != nil {
+			t.Errorf("stat: %v", err)
+		}
+	})
+	cluster.Run()
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d events; invariant checks need a complete stream", d)
+	}
+	return tr.Events()
+}
+
+// TestTraceInvariantsReadWrite checks the full stack's trace discipline in
+// the Read-Write design: every WQE completes exactly once, every exposed
+// client MR dies with its RPC, and the server never installs a remotely
+// accessible region — the paper's §4.2 security property, read off the
+// event stream of a real run.
+func TestTraceInvariantsReadWrite(t *testing.T) {
+	events := runTraced(t, rpcrdma.ReadWrite)
+	if err := trace.CheckWQECQE(events); err != nil {
+		t.Errorf("WQE/CQE pairing: %v", err)
+	}
+	if err := trace.CheckExposureBounds(events); err != nil {
+		t.Errorf("exposure bounds: %v", err)
+	}
+	if err := trace.CheckNoRemoteExposure(events, "server"); err != nil {
+		t.Errorf("read-write server exposed memory: %v", err)
+	}
+}
+
+// TestTraceInvariantsReadRead checks the same discipline in the Read-Read
+// design — and that the §4.1 exposure is *visible*: the server stages
+// replies in remotely readable buffers, so CheckNoRemoteExposure must fail
+// on the server track.
+func TestTraceInvariantsReadRead(t *testing.T) {
+	events := runTraced(t, rpcrdma.ReadRead)
+	if err := trace.CheckWQECQE(events); err != nil {
+		t.Errorf("WQE/CQE pairing: %v", err)
+	}
+	if err := trace.CheckExposureBounds(events); err != nil {
+		t.Errorf("exposure bounds: %v", err)
+	}
+	if err := trace.CheckNoRemoteExposure(events, "server"); err == nil {
+		t.Error("read-read server staged no remotely readable reply buffers; §4.1 exposure should be visible in the trace")
+	}
+}

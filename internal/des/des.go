@@ -24,6 +24,8 @@ package des
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -57,6 +59,8 @@ type Sim struct {
 	parked   []*Proc // processes currently blocked inside the kernel
 	starting []*Proc // spawned but not yet started processes
 	trace    func(t Time, format string, args ...any)
+	tracer   *trace.Tracer // structured event sink, nil when disabled
+	procSeq  uint64
 }
 
 // New creates an empty simulation positioned at virtual time zero.
@@ -70,6 +74,15 @@ func (s *Sim) Now() Time { return s.now }
 // SetTrace installs a trace sink invoked by Proc.Logf. A nil sink disables
 // tracing (the default).
 func (s *Sim) SetTrace(fn func(t Time, format string, args ...any)) { s.trace = fn }
+
+// SetTracer installs a structured event tracer. Every layer built on the
+// kernel reaches it through Sim; a nil tracer (the default) disables
+// structured tracing, and all emission sites guard on that nil so the
+// kernel hot path stays allocation-free and branch-cheap.
+func (s *Sim) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// Tracer returns the installed structured tracer, or nil.
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 
 // schedule enqueues a typed event firing at virtual time at (which must not
 // be in the past) targeting process p, and returns the event so it can be
@@ -182,6 +195,8 @@ type Proc struct {
 	parkedIdx int    // index into sim.parked, -1 when running
 	startIdx  int    // index into sim.starting, -1 once started
 	startEv   *event // pending start event, nil once started
+	id        uint64 // stable process id for trace pairing
+	blockT    Time   // park time, recorded only while tracing
 }
 
 // Sim returns the simulation this process belongs to.
@@ -215,7 +230,11 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnAt is Spawn with an explicit (future) start time.
 func (s *Sim) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{}), parkedIdx: -1}
+	s.procSeq++
+	p := &Proc{sim: s, name: name, resume: make(chan struct{}), parkedIdx: -1, id: s.procSeq}
+	if s.tracer != nil {
+		s.tracer.Instant(int64(s.now), trace.LayerDES, trace.KindSpawn, name, "spawn", p.id, int64(at))
+	}
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -267,12 +286,20 @@ func (s *Sim) resumeProc(p *Proc) {
 // registration on some primitive).
 func (p *Proc) park() {
 	s := p.sim
+	if s.tracer != nil {
+		p.blockT = s.now
+	}
 	p.parkedIdx = len(s.parked)
 	s.parked = append(s.parked, p)
 	s.yield <- struct{}{}
 	<-p.resume
 	if p.abandoned {
 		panic(abandonedPanic{})
+	}
+	// A blocked span is only interesting when virtual time passed; emitting
+	// after the resume keeps this off the zero-length same-instant handoffs.
+	if s.tracer != nil && s.now > p.blockT {
+		s.tracer.Span(int64(p.blockT), int64(s.now), trace.LayerDES, trace.KindBlocked, p.name, "blocked", p.id, 0)
 	}
 }
 

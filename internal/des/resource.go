@@ -13,7 +13,11 @@ type Resource struct {
 	inUse    int
 	waiters  Ring[resWaiter]
 
-	// busy accounting: integral of inUse over time, for utilization reports.
+	// busy accounting: integral of inUse over time, for utilization
+	// reports. busyIntegral covers [accounting start, lastChange];
+	// lastChange is the time of the last occupancy *change* (or reset), so
+	// the integral over (lastChange, now] is the exact linear segment
+	// inUse × elapsed and windowed queries within it stay exact.
 	busyIntegral float64 // unit-seconds
 	lastChange   Time
 }
@@ -101,20 +105,41 @@ func (r *Resource) Use(p *Proc, n int, d Duration) {
 }
 
 // BusySeconds returns the integral of units-in-use over virtual time, in
-// unit-seconds, up to the current instant.
+// unit-seconds, up to the current instant. It does not disturb lastChange,
+// so windowed queries keep their exact current segment.
 func (r *Resource) BusySeconds() float64 {
-	r.accumulate()
-	return r.busyIntegral
+	return r.busyIntegral + float64(r.inUse)*Time(r.sim.now-r.lastChange).Seconds()
+}
+
+// BusySecondsSince returns unit-seconds consumed in [start, now). The
+// result is exact when start falls inside the current linear segment (no
+// occupancy change since start) — which covers the common "snapshot after
+// the work finished" window — and is otherwise the total integral clamped
+// to the window's physical maximum (capacity × elapsed), since the
+// occupancy step history before the segment is not retained.
+func (r *Resource) BusySecondsSince(start Time) float64 {
+	now := r.sim.now
+	if start <= 0 {
+		return r.BusySeconds()
+	}
+	if start >= r.lastChange {
+		return float64(r.inUse) * Time(now-start).Seconds()
+	}
+	busy := r.BusySeconds()
+	if max := float64(r.capacity) * Time(now-start).Seconds(); busy > max {
+		return max
+	}
+	return busy
 }
 
 // Utilization returns average utilization (0..1) over the window from start
-// to the current virtual time.
+// to the current virtual time (see BusySecondsSince for window semantics).
 func (r *Resource) Utilization(start Time) float64 {
 	elapsed := Time(r.sim.now - start).Seconds()
 	if elapsed <= 0 {
 		return 0
 	}
-	return r.BusySeconds() / (float64(r.capacity) * elapsed)
+	return r.BusySecondsSince(start) / (float64(r.capacity) * elapsed)
 }
 
 // ResetAccounting zeroes the busy integral; utilization windows then start

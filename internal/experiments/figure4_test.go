@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTraceFigure4EndToEnd runs the traced latency-anatomy experiment and
+// checks the acceptance shape: a valid Chrome trace-event document with
+// spans from at least four stack layers, per-procedure latency quantiles,
+// and a complete (undropped) event stream.
+func TestTraceFigure4EndToEnd(t *testing.T) {
+	r := RunFigure4(Scale(16))
+
+	if d := r.Tracer.Dropped(); d != 0 {
+		t.Fatalf("fig4 ring dropped %d events; raise figure4TraceCapacity", d)
+	}
+
+	perProc := r.PerProc.String()
+	for _, proc := range []string{"READ", "WRITE", "LOOKUP", "p50", "p95", "p99"} {
+		if !strings.Contains(perProc, proc) {
+			t.Errorf("per-procedure table missing %q:\n%s", proc, perProc)
+		}
+	}
+	transport := r.Transport.String()
+	for _, h := range []string{"cq.deliver", "reg.register", "nfs.READ"} {
+		if !strings.Contains(transport, h) {
+			t.Errorf("transport table missing %q:\n%s", h, transport)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, r.Tracer.Events()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	layers := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Cat != "" {
+			layers[e.Cat] = true
+		}
+	}
+	for _, want := range []string{"des", "ibsim", "rpcrdma", "nfs3"} {
+		if !layers[want] {
+			t.Errorf("no complete spans from layer %q (got %v)", want, layers)
+		}
+	}
+	if len(layers) < 4 {
+		t.Fatalf("spans from %d layers, want >= 4: %v", len(layers), layers)
+	}
+}

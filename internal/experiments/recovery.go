@@ -21,6 +21,13 @@ type RecoveryPoint struct {
 	WriteMBps  float64
 	Reconnects int64
 	Replays    int64
+	// Transport-level fault evidence: call timeouts and retransmissions
+	// accumulated across every connection the client used (reconnects swap
+	// transports; TransportStats banks the retired counters), plus server
+	// RDMA Write attempts cut short by a dying connection.
+	Timeouts    int64
+	Retransmits int64
+	ShortWrites int64
 	// ServerWrites is the number of WRITE procedures the server actually
 	// executed; equality with the number issued proves the duplicate
 	// request cache suppressed every replayed side effect.
@@ -47,7 +54,7 @@ type Recovery struct {
 func RunRecovery(scale Scale) *Recovery {
 	out := &Recovery{
 		Table: stats.NewTable("Recovery ablation: injected connection failures, 4 writers, 128 KiB records, Linux profile",
-			"faults", "design", "write MB/s", "reconnects", "replays", "WRITEs exec/issued", "data"),
+			"faults", "design", "write MB/s", "reconnects", "replays", "timeouts", "retrans", "shortw", "WRITEs exec/issued", "data"),
 	}
 	faultCounts := []int{0, 1, 3, 6}
 	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
@@ -65,7 +72,8 @@ func RunRecovery(scale Scale) *Recovery {
 		}
 		out.Points = append(out.Points, r)
 		out.Table.AddRow(faultCounts[c[0]], r.Design.String(), r.WriteMBps,
-			r.Reconnects, r.Replays, fmt.Sprintf("%d/%d", r.ServerWrites, r.WritesIssued), ok)
+			r.Reconnects, r.Replays, r.Timeouts, r.Retransmits, r.ShortWrites,
+			fmt.Sprintf("%d/%d", r.ServerWrites, r.WritesIssued), ok)
 	}
 	return out
 }
@@ -189,6 +197,8 @@ func runRecoveryPoint(faults int, design rpcrdma.Design, fileSize int64) Recover
 			pt.DataOK = false
 		}
 		pt.Reconnects, pt.Replays = cl.RecoveryStats()
+		pt.Timeouts, pt.Retransmits = cl.TransportStats()
+		pt.ShortWrites = cluster.Server.RDMA.ShortWrites
 		pt.ServerWrites = cluster.Server.NFS.Ops[nfs3.ProcWrite]
 		if cluster.Server.NFS.Ops[nfs3.ProcRename] != renames {
 			pt.DataOK = false

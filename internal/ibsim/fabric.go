@@ -23,6 +23,11 @@ type Fabric struct {
 	Counters *stats.Counters
 	nodes    []*Node
 	qpn      int
+	// wqeSeq/cqeSeq hand out fabric-wide unique ids for trace pairing:
+	// WRIDs are caller-chosen and reused, so they cannot key Begin/End
+	// pairs on their own.
+	wqeSeq uint64
+	cqeSeq uint64
 	// conns records every QP created by Connect in creation order, so fault
 	// injection by node pair visits endpoints deterministically and keeps
 	// working across reconnects (new QPs join the registry as they are made).

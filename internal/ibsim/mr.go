@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/trace"
 )
 
 // Access is the permission set of a memory region.
@@ -144,6 +145,10 @@ func (h *HCA) install(mr *MR) {
 		h.node.fab.Counters.Inc("mr.remote_exposed")
 	}
 	h.node.fab.Counters.Inc("mr.registered")
+	if tr := h.node.fab.Sim.Tracer(); tr != nil {
+		tr.Begin(int64(h.node.fab.Sim.Now()), trace.LayerIbsim, trace.KindMR, h.node.name, "mr",
+			uint64(mr.rkey), trace.MRArg(uint8(mr.access), mr.length))
+	}
 }
 
 func (h *HCA) remove(mr *MR) {
@@ -156,6 +161,10 @@ func (h *HCA) remove(mr *MR) {
 		h.remoteExposedBytes -= int64(mr.length)
 	}
 	h.node.fab.Counters.Inc("mr.deregistered")
+	if tr := h.node.fab.Sim.Tracer(); tr != nil {
+		tr.End(int64(h.node.fab.Sim.Now()), trace.LayerIbsim, trace.KindMR, h.node.name, "mr",
+			uint64(mr.rkey), 0)
+	}
 }
 
 // RemoteExposedBytes returns the number of bytes currently registered with
@@ -177,6 +186,7 @@ func (h *HCA) Register(p *des.Proc, buf *Buffer, off, length int, access Access)
 		panic(fmt.Sprintf("ibsim: register [%d,%d) outside buffer size %d", off, off+length, buf.Size))
 	}
 	pages := h.pages(length)
+	start := p.Now()
 	h.node.CPU.Work(p, des.Duration(pages)*h.cfg.RegPerPageCPU)
 	h.busTxn(p, h.cfg.RegBase+des.Duration(pages)*h.cfg.RegPerPageBus)
 	mr := &MR{
@@ -185,6 +195,11 @@ func (h *HCA) Register(p *des.Proc, buf *Buffer, off, length int, access Access)
 		rkey: h.allocTag(), access: access,
 	}
 	h.install(mr)
+	if tr := h.node.fab.Sim.Tracer(); tr != nil {
+		tr.Span(int64(start), int64(p.Now()), trace.LayerIbsim, trace.KindRegCall, h.node.name, "register",
+			uint64(mr.rkey), int64(length))
+		tr.Observe("reg.register", (p.Now() - start).Micros())
+	}
 	return mr
 }
 
@@ -195,9 +210,15 @@ func (h *HCA) Deregister(p *des.Proc, mr *MR) {
 		panic("ibsim: cannot deregister the global steering tag")
 	}
 	pages := h.pages(mr.length)
+	start := p.Now()
 	h.busTxn(p, h.cfg.DeregBase+des.Duration(pages)*h.cfg.DeregPerPageBus)
 	h.node.CPU.Work(p, des.Duration(pages)*h.cfg.DeregPerPageCPU)
 	h.remove(mr)
+	if tr := h.node.fab.Sim.Tracer(); tr != nil {
+		tr.Span(int64(start), int64(p.Now()), trace.LayerIbsim, trace.KindRegCall, h.node.name, "deregister",
+			uint64(mr.rkey), int64(mr.length))
+		tr.Observe("reg.deregister", (p.Now() - start).Micros())
+	}
 }
 
 // FMRHandle is a pre-allocated fast-registration context: the steering tag
@@ -235,6 +256,7 @@ func (f *FMRHandle) Map(p *des.Proc, buf *Buffer, off, length int, access Access
 	}
 	h := f.hca
 	pages := h.pages(length)
+	start := p.Now()
 	h.node.CPU.Work(p, des.Duration(pages)*h.cfg.FMRMapCPU)
 	h.busTxn(p, des.Duration(pages)*h.cfg.FMRMapPerPageBus)
 	mr := &MR{
@@ -243,6 +265,11 @@ func (f *FMRHandle) Map(p *des.Proc, buf *Buffer, off, length int, access Access
 		rkey: f.rkey, access: access, fmr: true,
 	}
 	h.install(mr)
+	if tr := h.node.fab.Sim.Tracer(); tr != nil {
+		tr.Span(int64(start), int64(p.Now()), trace.LayerIbsim, trace.KindRegCall, h.node.name, "fmr-map",
+			uint64(mr.rkey), int64(length))
+		tr.Observe("reg.fmr_map", (p.Now() - start).Micros())
+	}
 	f.mr = mr
 	f.remaps++
 	return mr

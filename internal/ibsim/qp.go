@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/trace"
 )
 
 // Opcode identifies a work request type.
@@ -64,6 +65,10 @@ type SendWQE struct {
 	// protocol engines use it to wait for one specific WR without draining
 	// the CQ.
 	Done *des.Event
+
+	// seq is the fabric-wide trace id assigned at PostSend while tracing;
+	// zero means the request predates the tracer (or tracing is off).
+	seq uint64
 }
 
 // Size returns the wire size of the request's data.
@@ -92,6 +97,9 @@ type CQE struct {
 	Bytes   int
 	Payload []byte // received Send payload (OpRecv only)
 	QP      *QP
+
+	seq      uint64   // trace id, zero when tracing is off
+	postedAt des.Time // post time, for CQ-delivery latency
 }
 
 // CQ is a completion queue. Waiting on an empty CQ and being woken by a new
@@ -99,16 +107,39 @@ type CQE struct {
 // completion already queued is a poll and costs nothing — this is how the
 // Read-Write design's interrupt elimination becomes visible in CPU numbers.
 type CQ struct {
-	node *Node
-	q    *des.Queue
+	node  *Node
+	q     *des.Queue
+	track string
 }
 
 // NewCQ creates a completion queue on the node.
 func NewCQ(n *Node, name string) *CQ {
-	return &CQ{node: n, q: des.NewQueue(n.fab.Sim, name)}
+	return &CQ{node: n, q: des.NewQueue(n.fab.Sim, name), track: name}
 }
 
-func (cq *CQ) post(c *CQE) { cq.q.Put(c) }
+func (cq *CQ) post(c *CQE) {
+	fab := cq.node.fab
+	if tr := fab.Sim.Tracer(); tr != nil {
+		fab.cqeSeq++
+		c.seq = fab.cqeSeq
+		c.postedAt = fab.Sim.Now()
+		tr.Begin(int64(c.postedAt), trace.LayerIbsim, trace.KindCQE, cq.track, c.Op.String(), c.seq, int64(c.Bytes))
+	}
+	cq.q.Put(c)
+}
+
+// consumed closes a completion's trace interval when software picks it up
+// and feeds the CQ-delivery latency histogram.
+func (cq *CQ) consumed(c *CQE) {
+	if c.seq == 0 {
+		return
+	}
+	if tr := cq.node.fab.Sim.Tracer(); tr != nil {
+		now := cq.node.fab.Sim.Now()
+		tr.End(int64(now), trace.LayerIbsim, trace.KindCQE, cq.track, c.Op.String(), c.seq, 0)
+		tr.Observe("cq.deliver", (now - c.postedAt).Micros())
+	}
+}
 
 // Wait blocks until a completion is available and returns it. If the caller
 // had to block, the wake-up is charged as a hardware interrupt.
@@ -121,7 +152,9 @@ func (cq *CQ) Wait(p *des.Proc) *CQE {
 	if blocked {
 		cq.node.CPU.Interrupt(p)
 	}
-	return v.(*CQE)
+	c := v.(*CQE)
+	cq.consumed(c)
+	return c
 }
 
 // Poll returns a completion without blocking.
@@ -130,7 +163,9 @@ func (cq *CQ) Poll() (*CQE, bool) {
 	if !ok {
 		return nil, false
 	}
-	return v.(*CQE), true
+	c := v.(*CQE)
+	cq.consumed(c)
+	return c, true
 }
 
 // Len returns the number of queued completions.
@@ -157,10 +192,11 @@ const readRequestWireSize = 16 // RDMA Read request packet (header only)
 
 // QP is one endpoint of a reliable connection.
 type QP struct {
-	node *Node
-	cfg  QPConfig
-	qpn  int
-	peer *QP
+	node  *Node
+	cfg   QPConfig
+	qpn   int
+	peer  *QP
+	track string // trace row: "<node>/qp<N>"
 
 	sq     *des.Queue // *SendWQE
 	rq     []*RecvWQE
@@ -175,10 +211,11 @@ type QP struct {
 func newQP(n *Node, cfg QPConfig, qpn int) *QP {
 	cfg.defaults()
 	qp := &QP{
-		node: n,
-		cfg:  cfg,
-		qpn:  qpn,
-		sq:   des.NewQueue(n.fab.Sim, fmt.Sprintf("%s/qp%d/sq", n.name, qpn)),
+		node:  n,
+		cfg:   cfg,
+		qpn:   qpn,
+		track: fmt.Sprintf("%s/qp%d", n.name, qpn),
+		sq:    des.NewQueue(n.fab.Sim, fmt.Sprintf("%s/qp%d/sq", n.name, qpn)),
 	}
 	qp.SendCQ = NewCQ(n, fmt.Sprintf("%s/qp%d/scq", n.name, qpn))
 	qp.RecvCQ = NewCQ(n, fmt.Sprintf("%s/qp%d/rcq", n.name, qpn))
@@ -211,6 +248,9 @@ func (q *QP) setError(err error) {
 	if q.errSt == nil {
 		q.errSt = err
 		q.node.fab.Counters.Inc("qp.error")
+		if tr := q.node.fab.Sim.Tracer(); tr != nil {
+			tr.Instant(int64(q.node.fab.Sim.Now()), trace.LayerIbsim, trace.KindQPError, q.track, "qp-error", uint64(q.qpn), 0)
+		}
 		flushed := fmt.Errorf("%w: flushed", err)
 		q.RecvCQ.post(&CQE{Op: OpRecv, Err: flushed, QP: q})
 		q.SendCQ.post(&CQE{Op: OpSend, Err: flushed, QP: q})
@@ -254,6 +294,12 @@ func (q *QP) PostSend(w *SendWQE) {
 		q.complete(w, fmt.Errorf("%w: flushed", ErrQPError), 0)
 		return
 	}
+	fab := q.node.fab
+	if tr := fab.Sim.Tracer(); tr != nil {
+		fab.wqeSeq++
+		w.seq = fab.wqeSeq
+		tr.Begin(int64(fab.Sim.Now()), trace.LayerIbsim, trace.KindWQE, q.track, w.Op.String(), w.seq, int64(w.Size()))
+	}
 	q.sq.Put(w)
 }
 
@@ -288,6 +334,15 @@ func (q *QP) start() {
 
 // complete posts a CQE for w and fires its done event.
 func (q *QP) complete(w *SendWQE, err error, bytes int) {
+	if w.seq != 0 {
+		if tr := q.node.fab.Sim.Tracer(); tr != nil {
+			var errFlag int64
+			if err != nil {
+				errFlag = 1
+			}
+			tr.End(int64(q.node.fab.Sim.Now()), trace.LayerIbsim, trace.KindWQE, q.track, w.Op.String(), w.seq, errFlag)
+		}
+	}
 	cqe := &CQE{WRID: w.WRID, Op: w.Op, Err: err, Bytes: bytes, QP: q}
 	if w.Signaled {
 		q.SendCQ.post(cqe)
@@ -312,6 +367,11 @@ func (q *QP) engine(p *des.Proc) {
 			return
 		}
 		w := v.(*SendWQE)
+		if w.seq != 0 {
+			if tr := q.node.fab.Sim.Tracer(); tr != nil {
+				tr.Instant(int64(p.Now()), trace.LayerIbsim, trace.KindDoorbell, q.track, w.Op.String(), w.seq, int64(q.sq.Len()))
+			}
+		}
 		if q.errSt != nil {
 			ctr.Inc("wqe.flushed")
 			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
@@ -331,12 +391,24 @@ func (q *QP) engine(p *des.Proc) {
 	}
 }
 
+// dmaSpan wraps one wire occupancy interval of a traced work request.
+func (q *QP) dmaSpan(p *des.Proc, w *SendWQE, size int, fn func()) {
+	tr := q.node.fab.Sim.Tracer()
+	if tr == nil || w.seq == 0 {
+		fn()
+		return
+	}
+	start := p.Now()
+	fn()
+	tr.Span(int64(start), int64(p.Now()), trace.LayerIbsim, trace.KindDMA, q.track, w.Op.String(), w.seq, int64(size))
+}
+
 func (q *QP) launchSend(p *des.Proc, w *SendWQE) {
 	ctr := q.node.fab.Counters
 	size := len(w.Payload)
 	ctr.Inc("op.send")
 	ctr.Add("bytes.send", int64(size))
-	transfer(p, q.node, q.peer.node, size)
+	q.dmaSpan(p, w, size, func() { transfer(p, q.node, q.peer.node, size) })
 	s := q.node.fab.Sim
 	lat := latency(q.node, q.peer.node)
 	arrive := s.Now() + des.Time(lat)
@@ -360,6 +432,11 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 	}
 	if len(peer.rq) == 0 {
 		ctr.Inc("rnr")
+		if w.seq != 0 {
+			if tr := s.Tracer(); tr != nil {
+				tr.Instant(int64(dp.Now()), trace.LayerIbsim, trace.KindRNR, q.track, w.Op.String(), w.seq, int64(attempt))
+			}
+		}
 		if attempt >= q.cfg.RNRRetryLimit {
 			err := fmt.Errorf("%w after %d retries", ErrRNR, attempt)
 			q.setError(err)
@@ -395,7 +472,7 @@ func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
 	size := w.Size()
 	ctr.Inc("op.write")
 	ctr.Add("bytes.write", int64(size))
-	transfer(p, q.node, q.peer.node, size)
+	q.dmaSpan(p, w, size, func() { transfer(p, q.node, q.peer.node, size) })
 	s := q.node.fab.Sim
 	lat := latency(q.node, q.peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "deliver-write", func(*des.Proc) {
@@ -429,8 +506,14 @@ func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
 	ctr.Add("bytes.read", int64(size))
 	// ORD throttling: a Read that cannot get a slot stalls the send queue
 	// head (strict in-order initiation), serializing everything behind it.
+	ordStart := p.Now()
 	q.ord.Acquire(p, 1)
-	transfer(p, q.node, q.peer.node, readRequestWireSize)
+	if w.seq != 0 && p.Now() > ordStart {
+		if tr := q.node.fab.Sim.Tracer(); tr != nil {
+			tr.Span(int64(ordStart), int64(p.Now()), trace.LayerIbsim, trace.KindORDWait, q.track, "ord-wait", w.seq, int64(q.ord.Capacity()))
+		}
+	}
+	q.dmaSpan(p, w, readRequestWireSize, func() { transfer(p, q.node, q.peer.node, readRequestWireSize) })
 	s := q.node.fab.Sim
 	lat := latency(q.node, q.peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "read-responder", func(rp *des.Proc) {

@@ -4,20 +4,40 @@ import (
 	"repro/internal/des"
 	"repro/internal/oncrpc"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/xdr"
 )
+
+// procTraceNames/procHistNames are precomputed so the traced call path never
+// builds a string per RPC.
+var (
+	procTraceNames [22]string
+	procHistNames  [22]string
+)
+
+func init() {
+	for i := range procTraceNames {
+		procTraceNames[i] = ProcName(uint32(i))
+		procHistNames[i] = "nfs." + procTraceNames[i]
+	}
+}
 
 // Client provides typed NFSv3 procedure stubs over an ONC RPC client.
 // Payload placement (READ data destinations, WRITE data sources) is passed
 // through to the transport untouched: the RPC/RDMA transport turns it into
 // chunk lists, the stream transport into inline data.
 type Client struct {
-	rpc *oncrpc.Client
+	rpc     *oncrpc.Client
+	machine string
 
 	// latency, when non-nil, records one histogram per procedure.
 	latency []*stats.Histogram
 	sim     *des.Sim
 }
+
+// AttachSim binds the client to its simulation so the call path can reach
+// the structured tracer (EnableLatencyStats does the same as a side effect).
+func (c *Client) AttachSim(sim *des.Sim) { c.sim = sim }
 
 // EnableLatencyStats starts per-procedure latency recording.
 func (c *Client) EnableLatencyStats(sim *des.Sim) {
@@ -37,15 +57,28 @@ func (c *Client) Latency(proc uint32) *stats.Histogram {
 	return c.latency[proc]
 }
 
-// call wraps the RPC with latency recording.
+// call wraps the RPC with latency recording and procedure-span tracing.
 func (c *Client) call(p *des.Proc, proc uint32, args []byte, opts oncrpc.CallOpts) ([]byte, int, error) {
-	if c.latency == nil {
+	var tr *trace.Tracer
+	if c.sim != nil {
+		tr = c.sim.Tracer()
+	}
+	if c.latency == nil && tr == nil {
 		return c.rpc.Call(p, proc, args, opts)
 	}
 	start := p.Now()
 	res, n, err := c.rpc.Call(p, proc, args, opts)
-	if int(proc) < len(c.latency) {
-		c.latency[proc].Observe(float64(p.Now()-start) / 1e3)
+	elapsed := float64(p.Now()-start) / 1e3
+	if c.latency != nil && int(proc) < len(c.latency) {
+		c.latency[proc].Observe(elapsed)
+	}
+	if tr != nil && int(proc) < len(procTraceNames) {
+		var errFlag int64
+		if err != nil {
+			errFlag = 1
+		}
+		tr.Span(int64(start), int64(p.Now()), trace.LayerNFS, trace.KindNFSProc, c.machine, procTraceNames[proc], uint64(proc), errFlag)
+		tr.Observe(procHistNames[proc], elapsed)
 	}
 	return res, n, err
 }
@@ -53,7 +86,7 @@ func (c *Client) call(p *des.Proc, proc uint32, args []byte, opts oncrpc.CallOpt
 // NewClient wraps transport t as an NFSv3 client.
 func NewClient(t oncrpc.Transport, machine string) *Client {
 	cred := oncrpc.Auth{Flavor: oncrpc.AuthSys, Machine: machine, UID: 0, GID: 0}
-	return &Client{rpc: oncrpc.NewClient(t, Program, Version, cred)}
+	return &Client{rpc: oncrpc.NewClient(t, Program, Version, cred), machine: machine}
 }
 
 // Close shuts the transport down.

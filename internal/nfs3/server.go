@@ -62,6 +62,10 @@ func (s *Server) Program() uint32 { return Program }
 // Version implements oncrpc.Service.
 func (s *Server) Version() uint32 { return Version }
 
+// ProcName implements oncrpc.ProcNamer so dispatch trace spans carry the
+// NFS procedure name instead of the bare service name.
+func (s *Server) ProcName(proc uint32) string { return ProcName(proc) }
+
 // NonIdempotent implements oncrpc.IdempotencyClassifier: these procedures
 // mutate namespace or data in ways a replay would corrupt (a re-executed
 // REMOVE returns ENOENT, a re-executed WRITE can clobber newer data, a

@@ -4,7 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/trace"
 )
+
+// ProcNamer is implemented by services that can name their procedures for
+// tracing; without it, dispatch spans fall back to the service name.
+type ProcNamer interface {
+	ProcName(proc uint32) string
+}
 
 // Dispatcher routes decoded calls to registered services and encodes
 // replies. Server transports (RPC/RDMA, stream) own the worker model and
@@ -52,14 +59,21 @@ func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (r
 	if err != nil {
 		return nil, nil, err
 	}
+	tr := p.Sim().Tracer()
 	key := clientKey{xid: hdr.XID, prog: hdr.Prog, proc: hdr.Proc}
 	if d.drc != nil {
 		switch e, state := d.drc.lookup(hdr.Cred.Machine, key); state {
 		case drcHit:
 			// Retransmission: replay the cached reply without re-executing.
+			if tr != nil {
+				tr.Instant(int64(p.Now()), trace.LayerONCRPC, trace.KindDRCHit, hdr.Cred.Machine, "drc-hit", uint64(hdr.XID), int64(hdr.Proc))
+			}
 			return e.reply, e.bulk, nil
 		case drcExecuting:
 			// The original call is still in a handler; drop this copy.
+			if tr != nil {
+				tr.Instant(int64(p.Now()), trace.LayerONCRPC, trace.KindDRCSuppress, hdr.Cred.Machine, "drc-suppress", uint64(hdr.XID), int64(hdr.Proc))
+			}
 			return nil, nil, nil
 		}
 	}
@@ -77,6 +91,7 @@ func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (r
 	if cache {
 		d.drc.begin(hdr.Cred.Machine, key)
 	}
+	dispatchStart := p.Now()
 	resp := svc.Handle(p, &ServerRequest{
 		Header:      hdr,
 		Args:        args,
@@ -84,6 +99,14 @@ func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (r
 		RecvBulkCap: opts.RecvBulkCap,
 		ReplyBuf:    opts.ReplyBuf,
 	})
+	if tr != nil {
+		name := svc.Name()
+		if pn, ok := svc.(ProcNamer); ok {
+			name = pn.ProcName(hdr.Proc)
+		}
+		tr.Span(int64(dispatchStart), int64(p.Now()), trace.LayerONCRPC, trace.KindDispatch,
+			hdr.Cred.Machine, name, uint64(hdr.XID), int64(hdr.Proc))
+	}
 	reply = EncodeReply(hdr.XID, resp.Stat, resp.Results)
 	if cache {
 		d.drc.commit(hdr.Cred.Machine, key, reply, resp.Bulk)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ibsim"
 	"repro/internal/memreg"
 	"repro/internal/oncrpc"
+	"repro/internal/trace"
 )
 
 // Config tunes an RPC/RDMA endpoint (client or server side).
@@ -233,8 +234,14 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 		return nil, fmt.Errorf("%w: %v", ErrTransport, err)
 	}
 	t.Calls++
+	tr := t.node.Sim().Tracer()
+	rtStart := p.Now()
 	t.node.CPU.Work(p, t.cfg.PerOpCPU)
+	creditStart := p.Now()
 	t.inflight.acquire(p)
+	if tr != nil && p.Now() > creditStart {
+		tr.Span(int64(creditStart), int64(p.Now()), trace.LayerRPC, trace.KindCreditWait, t.node.Name(), "credit-wait", uint64(req.XID), int64(t.inflight.Granted()))
+	}
 	defer t.inflight.release()
 
 	pend := &pending{req: req, done: des.NewEvent(t.node.Sim())}
@@ -270,6 +277,7 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 			t.node.CPU.Copy(p, req.SendBulk.Len)
 			segs = clampSegs(pend.srcChk.Reg.Segments(), req.SendBulk.Len)
 		}
+		t.traceExpose(p, req.XID, segs)
 		pos := uint32(len(req.Header))
 		for _, s := range segs {
 			hdr.ReadList = append(hdr.ReadList, ReadSeg{Position: pos, Segment: Segment{Rkey: s.Rkey, Length: uint32(s.Len), Addr: s.Addr}})
@@ -287,6 +295,7 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 		capBytes := req.LongReplyCap + 256
 		pend.replyChk = t.mgr.Get(p, capBytes, ibsim.AccessLocalWrite|ibsim.AccessRemoteWrite)
 		hdr.ReplyChunk = clampSegsWire(pend.replyChk.Reg.Segments(), capBytes)
+		t.traceExposeWire(p, req.XID, hdr.ReplyChunk)
 	}
 
 	// Long call: an oversized call travels as a position-0 read chunk under
@@ -301,7 +310,9 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 		}
 		t.node.CPU.Copy(p, len(req.Header))
 		hdr.Type = MsgNoMsg
-		for _, s := range clampSegs(pend.longCall.Reg.Segments(), len(req.Header)) {
+		lsegs := clampSegs(pend.longCall.Reg.Segments(), len(req.Header))
+		t.traceExpose(p, req.XID, lsegs)
+		for _, s := range lsegs {
 			hdr.ReadList = append(hdr.ReadList, ReadSeg{Position: 0, Segment: Segment{Rkey: s.Rkey, Length: uint32(s.Len), Addr: s.Addr}})
 		}
 		inline = nil
@@ -331,11 +342,17 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 			break
 		}
 		t.Timeouts++
+		if tr != nil {
+			tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindTimeout, t.node.Name(), "timeout", uint64(req.XID), int64(attempt))
+		}
 		if attempt >= t.cfg.RetryLimit || t.Broken() {
 			break
 		}
 		attempt++
 		t.Retransmits++
+		if tr != nil {
+			tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindRetransmit, t.node.Name(), "retransmit", uint64(req.XID), int64(attempt))
+		}
 		pend.done = des.NewEvent(t.node.Sim())
 		t.armTimer(pend.done, t.attemptTimeout(attempt))
 		t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(req.XID), Op: ibsim.OpSend, Payload: wire})
@@ -343,22 +360,58 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 	delete(t.pending, req.XID)
 	pend.aborted = true
 	p.Logf("rpcrdma done xid=%#x bulk=%dB err=%v", req.XID, res.bulkLen, res.err)
+	endRPC := func() {
+		if tr == nil {
+			return
+		}
+		var errFlag int64
+		if res.err != nil {
+			errFlag = 1
+		}
+		tr.Span(int64(rtStart), int64(p.Now()), trace.LayerRPC, trace.KindRPC, t.node.Name(), "rpc", uint64(req.XID), errFlag)
+	}
 	if pend.handling > 0 {
 		// A reply handler is still pulling chunks for this call; it owns
 		// the buffer release now (see handleReply) so its in-flight RDMA
 		// Reads cannot land in recycled staging. The staging copy still
 		// happens here, while the chunk is guaranteed alive.
 		t.stagingCopy(p, pend, res)
+		endRPC()
 		if res.err != nil {
 			return nil, res.err
 		}
 		return &oncrpc.Response{Header: res.body, BulkLen: res.bulkLen}, nil
 	}
 	t.teardown(p, pend, res)
+	endRPC()
 	if res.err != nil {
 		return nil, res.err
 	}
 	return &oncrpc.Response{Header: res.body, BulkLen: res.bulkLen}, nil
+}
+
+// traceExpose records, one instant per segment, that the call advertised a
+// remotely accessible rkey to the peer. The instants are what the
+// MR-exposure invariant (trace.CheckExposureBounds) anchors on.
+func (t *ClientTransport) traceExpose(p *des.Proc, xid uint32, segs []memreg.Segment) {
+	tr := t.node.Sim().Tracer()
+	if tr == nil {
+		return
+	}
+	for _, s := range segs {
+		tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindExpose, t.node.Name(), "expose", uint64(xid), int64(s.Rkey))
+	}
+}
+
+// traceExposeWire is traceExpose over wire-format segments.
+func (t *ClientTransport) traceExposeWire(p *des.Proc, xid uint32, segs []Segment) {
+	tr := t.node.Sim().Tracer()
+	if tr == nil {
+		return
+	}
+	for _, s := range segs {
+		tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindExpose, t.node.Name(), "expose", uint64(xid), int64(s.Rkey))
+	}
 }
 
 // attemptTimeout returns the deadline for the given attempt: CallTimeout
@@ -398,6 +451,7 @@ func (t *ClientTransport) setupRecvPlacement(p *des.Proc, pend *pending, req *on
 			pend.destBuf, pend.destOff = buf, off
 			pend.destReg = t.mgr.RegisterExternal(p, buf, off, n, ibsim.AccessLocalWrite|ibsim.AccessRemoteWrite)
 			hdr.WriteList = clampSegsWire(pend.destReg.Segments(), n)
+			t.traceExposeWire(p, req.XID, hdr.WriteList)
 		} else {
 			// Buffered path: server writes into transport staging; one copy
 			// to the caller afterwards.
@@ -405,6 +459,7 @@ func (t *ClientTransport) setupRecvPlacement(p *des.Proc, pend *pending, req *on
 			pend.destBuf, pend.destOff = pend.destChk.Buf, 0
 			pend.needCopy = true
 			hdr.WriteList = clampSegsWire(pend.destChk.Reg.Segments(), n)
+			t.traceExposeWire(p, req.XID, hdr.WriteList)
 		}
 	case ReadRead:
 		// Nothing is advertised: the server will expose chunks in its reply
@@ -575,11 +630,15 @@ func (t *ClientTransport) pullChunks(p *des.Proc, pend *pending, hdr *Header) (i
 			return total, fmt.Errorf("%w: chunk overruns destination", ErrBadHeader)
 		}
 		t.BulkReads++
+		brStart := p.Now()
 		cqe := t.qp.PostAndWait(p, &ibsim.SendWQE{
 			WRID: uint64(hdr.XID), Op: ibsim.OpRead,
 			Local:     []ibsim.LocalSeg{{Buf: pend.destBuf, Off: dstOff, Len: n}},
 			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
 		})
+		if tr := t.node.Sim().Tracer(); tr != nil {
+			tr.Span(int64(brStart), int64(p.Now()), trace.LayerRPC, trace.KindBulkRead, t.node.Name(), "bulk-read", uint64(hdr.XID), int64(n))
+		}
 		if pend.aborted {
 			return total, fmt.Errorf("%w: call abandoned mid-pull", ErrClosed)
 		}
@@ -612,11 +671,15 @@ func (t *ClientTransport) pullLongReply(p *des.Proc, hdr *Header) ([]byte, error
 			continue
 		}
 		t.BulkReads++
+		brStart := p.Now()
 		cqe := t.qp.PostAndWait(p, &ibsim.SendWQE{
 			WRID: uint64(hdr.XID), Op: ibsim.OpRead,
 			Local:     []ibsim.LocalSeg{{Buf: staging.Buf, Off: off, Len: int(seg.Length)}},
 			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
 		})
+		if tr := t.node.Sim().Tracer(); tr != nil {
+			tr.Span(int64(brStart), int64(p.Now()), trace.LayerRPC, trace.KindBulkRead, t.node.Name(), "long-reply-read", uint64(hdr.XID), int64(seg.Length))
+		}
 		if cqe.Err != nil {
 			return nil, fmt.Errorf("%w: long reply read: %v", ErrTransport, cqe.Err)
 		}
@@ -632,6 +695,9 @@ func (t *ClientTransport) sendDone(xid uint32) {
 		return
 	}
 	t.DoneSent++
+	if tr := t.node.Sim().Tracer(); tr != nil {
+		tr.Instant(int64(t.node.Sim().Now()), trace.LayerRPC, trace.KindDone, t.node.Name(), "done-sent", uint64(xid), 0)
+	}
 	done := &Header{XID: xid, Credits: uint32(t.cfg.Credits), Type: MsgDone}
 	t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(xid), Op: ibsim.OpSend, Payload: done.Encode()})
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ibsim"
 	"repro/internal/memreg"
 	"repro/internal/oncrpc"
+	"repro/internal/trace"
 )
 
 // connXID keys per-connection transaction state.
@@ -34,6 +35,7 @@ type serverTask struct {
 type serverConn struct {
 	srv *ServerTransport
 	qp  *ibsim.QP
+	id  uint64 // connection ordinal; XIDs repeat across clients, conn.id<<32|xid does not
 
 	// dead marks the connection's lifecycle state: once set (by connDead)
 	// the transport drops this connection's queued tasks instead of serving
@@ -69,6 +71,7 @@ type ServerTransport struct {
 	replySlots *des.Resource // Read-Read reply-buffer pool
 	serial     *des.Resource // serialized send/receive path (nil when disabled)
 	closed     bool
+	connSeq    uint64
 
 	// Stats.
 	Requests     int64
@@ -122,7 +125,8 @@ func (s *ServerTransport) Close() {
 // Serve attaches an accepted connection: receives are posted and the
 // connection's messages feed the shared worker queue.
 func (s *ServerTransport) Serve(qp *ibsim.QP) {
-	conn := &serverConn{srv: s, qp: qp}
+	s.connSeq++
+	conn := &serverConn{srv: s, qp: qp, id: s.connSeq}
 	if s.cfg.DynamicCredits {
 		conn.replySlots = des.NewResource(s.node.Sim(), s.node.Name()+"/conn-replypool", s.cfg.ReplyBufPool)
 	}
@@ -175,7 +179,23 @@ func (s *ServerTransport) connDead(p *des.Proc, conn *serverConn) {
 	conn.parkedOrder = nil
 }
 
+// traceKey builds the trace pairing id of one (connection, XID) exchange.
+func (c *serverConn) traceKey(xid uint32) uint64 { return c.id<<32 | uint64(xid) }
+
+// handle wraps the real handler in a serve span while tracing.
 func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
+	tr := s.node.Sim().Tracer()
+	if tr == nil {
+		s.handle1(p, task)
+		return
+	}
+	start := p.Now()
+	s.handle1(p, task)
+	tr.Span(int64(start), int64(p.Now()), trace.LayerRPC, trace.KindServe, s.node.Name(),
+		task.hdr.Type.String(), task.conn.traceKey(task.hdr.XID), 0)
+}
+
+func (s *ServerTransport) handle1(p *des.Proc, task *serverTask) {
 	hdr := task.hdr
 	if task.conn.dead {
 		// The connection died while this message sat in the work queue;
@@ -185,6 +205,9 @@ func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
 	}
 	if hdr.Type == MsgDone {
 		s.DoneRecv++
+		if tr := s.node.Sim().Tracer(); tr != nil {
+			tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindDone, s.node.Name(), "done-recv", task.conn.traceKey(hdr.XID), 0)
+		}
 		// DONE processing crosses the same serialized receive path as any
 		// other message — part of why the Read-Read server saturates below
 		// the Read-Write one even at full pipeline depth (§5.1).
@@ -224,6 +247,7 @@ func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
 		}
 	}
 	if dataLen > 0 {
+		pullStart := p.Now()
 		// The receive path — buffer allocation, registration, chunk pulls —
 		// runs under the serialized section when modelled; the synchronous
 		// RDMA Read wait is additionally held inside it when
@@ -264,6 +288,10 @@ func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
 		s.node.CPU.Interrupt(p) // the completion that unblocks the thread
 		if s.serial != nil && s.cfg.SerializeSyncRead {
 			s.serial.Release(1)
+		}
+		if tr := s.node.Sim().Tracer(); tr != nil {
+			tr.Span(int64(pullStart), int64(p.Now()), trace.LayerRPC, trace.KindBulkRead, s.node.Name(),
+				"bulk-read", task.conn.traceKey(hdr.XID), int64(dataLen))
 		}
 		if failed {
 			s.mgr.Put(p, bulkInChk)
@@ -344,6 +372,13 @@ func (s *ServerTransport) pullLongCall(p *des.Proc, task *serverTask) ([]byte, e
 	if n == 0 {
 		return nil, fmt.Errorf("%w: NOMSG call without position-0 chunk", ErrBadHeader)
 	}
+	if tr := s.node.Sim().Tracer(); tr != nil {
+		pullStart := p.Now()
+		defer func() {
+			tr.Span(int64(pullStart), int64(p.Now()), trace.LayerRPC, trace.KindBulkRead, s.node.Name(),
+				"long-call-read", task.conn.traceKey(task.hdr.XID), int64(n))
+		}()
+	}
 	staging := s.mgr.Get(p, n, ibsim.AccessLocalWrite)
 	defer s.mgr.Put(p, staging)
 	off := 0
@@ -397,6 +432,7 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 			// The annotated WriteList already tells the client how much
 			// landed; count the truncation so it is visible server-side too.
 			s.ShortWrites++
+			s.traceShortWrite(p, task, call.XID, residual)
 		}
 		rh.WriteList = pushed
 	}
@@ -432,6 +468,7 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 		rh.ReplyChunk, residual = s.pushBulk(p, qp, longChk.Buf, len(reply), call.ReplyChunk)
 		if residual > 0 {
 			s.ShortWrites++
+			s.traceShortWrite(p, task, call.XID, residual)
 		}
 		rh.Type = MsgNoMsg
 		reply = nil
@@ -471,6 +508,9 @@ func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer,
 			l = n
 		}
 		s.BulkWrites++
+		if tr := s.node.Sim().Tracer(); tr != nil {
+			tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindBulkWrite, s.node.Name(), "bulk-write", uint64(seg.Rkey), int64(l))
+		}
 		qp.PostSend(&ibsim.SendWQE{
 			WRID: 0, Op: ibsim.OpWrite,
 			Local:     []ibsim.LocalSeg{{Buf: src, Off: off, Len: l}},
@@ -571,6 +611,10 @@ func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Hea
 		task.conn.parked++
 		task.conn.parkedOrder = append(task.conn.parkedOrder, call.XID)
 		s.parked[connXID{task.conn, call.XID}] = &parkedReply{chunks: park}
+		if tr := s.node.Sim().Tracer(); tr != nil {
+			tr.Begin(int64(p.Now()), trace.LayerRPC, trace.KindParked, s.node.Name(), "parked",
+				task.conn.traceKey(call.XID), int64(len(park)))
+		}
 	case willPark:
 		// Reserved but nothing ended up parked (e.g. squeezed inline).
 		if task.conn.replySlots != nil {
@@ -605,6 +649,14 @@ func (s *ServerTransport) advertiseCredits(conn *serverConn) uint32 {
 	return uint32(free)
 }
 
+// traceShortWrite records a reply truncation instant.
+func (s *ServerTransport) traceShortWrite(p *des.Proc, task *serverTask, xid uint32, residual int) {
+	if tr := s.node.Sim().Tracer(); tr != nil {
+		tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindShortWrite, s.node.Name(), "short-write",
+			task.conn.traceKey(xid), int64(residual))
+	}
+}
+
 // releaseParked frees the buffers of one acknowledged reply.
 func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) {
 	pr, ok := s.parked[key]
@@ -612,6 +664,10 @@ func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) {
 		return
 	}
 	delete(s.parked, key)
+	if tr := s.node.Sim().Tracer(); tr != nil {
+		tr.End(int64(p.Now()), trace.LayerRPC, trace.KindParked, s.node.Name(), "parked",
+			key.conn.traceKey(key.xid), 0)
+	}
 	for _, c := range pr.chunks {
 		s.mgr.Put(p, c)
 	}

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestSnapshotSorted pins the determinism contract experiment tables rely
+// on: Snapshot returns counters sorted by name regardless of insertion
+// order, so reports are byte-identical across runs and map iteration order.
+func TestSnapshotSorted(t *testing.T) {
+	c := NewCounters()
+	names := []string{"zeta", "alpha", "mid", "beta", "omega", "a0", "z9"}
+	for i, n := range names {
+		c.Add(n, int64(i+1))
+	}
+	for trial := 0; trial < 10; trial++ {
+		snap := c.Snapshot()
+		if len(snap) != len(names) {
+			t.Fatalf("Snapshot has %d entries, want %d", len(snap), len(names))
+		}
+		if !sort.SliceIsSorted(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name }) {
+			t.Fatalf("Snapshot not sorted by name: %v", snap)
+		}
+	}
+	snap := c.Snapshot()
+	if snap[0].Name != "a0" || snap[len(snap)-1].Name != "zeta" {
+		t.Fatalf("unexpected order: first=%q last=%q", snap[0].Name, snap[len(snap)-1].Name)
+	}
+	for _, cv := range snap {
+		if cv.Value != c.Get(cv.Name) {
+			t.Fatalf("counter %q snapshot=%d live=%d", cv.Name, cv.Value, c.Get(cv.Name))
+		}
+	}
+}

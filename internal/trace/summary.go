@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary renders a compact flamegraph-style text digest of an event
+// stream: spans aggregated by (layer, name) with count, total and mean
+// virtual time plus a bar scaled to the busiest row, then instant counts.
+// It is the quick look you take before opening the Chrome trace.
+func Summary(events []Event) string {
+	type aggKey struct {
+		layer Layer
+		kind  Kind
+		name  string
+	}
+	type agg struct {
+		count int64
+		total int64 // ns
+		max   int64
+	}
+	spans := map[aggKey]*agg{}
+	instants := map[aggKey]int64{}
+	var lastT int64
+	for i := range events {
+		if t := events[i].End(); t > lastT {
+			lastT = t
+		}
+	}
+
+	open := map[pairKey][]*Event{}
+	record := func(k aggKey, dur int64) {
+		a := spans[k]
+		if a == nil {
+			a = &agg{}
+			spans[k] = a
+		}
+		a.count++
+		a.total += dur
+		if dur > a.max {
+			a.max = dur
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		k := aggKey{e.Layer, e.Kind, e.Name}
+		switch e.Phase {
+		case PhaseSpan:
+			record(k, e.Dur)
+		case PhaseBegin:
+			pk := pairKey{e.Layer, e.Kind, e.Track, e.ID}
+			open[pk] = append(open[pk], e)
+		case PhaseEnd:
+			pk := pairKey{e.Layer, e.Kind, e.Track, e.ID}
+			if st := open[pk]; len(st) > 0 {
+				b := st[len(st)-1]
+				open[pk] = st[:len(st)-1]
+				record(aggKey{b.Layer, b.Kind, b.Name}, e.T-b.T)
+			}
+		case PhaseInstant:
+			instants[k]++
+		}
+	}
+	for _, st := range open {
+		for _, b := range st {
+			record(aggKey{b.Layer, b.Kind, b.Name}, lastT-b.T)
+		}
+	}
+
+	keys := make([]aggKey, 0, len(spans))
+	var peak int64
+	for k, a := range spans {
+		keys = append(keys, k)
+		if a.total > peak {
+			peak = a.total
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].layer != keys[j].layer {
+			return keys[i].layer < keys[j].layer
+		}
+		ti, tj := spans[keys[i]].total, spans[keys[j]].total
+		if ti != tj {
+			return ti > tj
+		}
+		return keys[i].name < keys[j].name
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary: %d events, %.3f ms of virtual time\n", len(events), float64(lastT)/1e6)
+	const barWidth = 30
+	for _, k := range keys {
+		a := spans[k]
+		bar := 0
+		if peak > 0 {
+			bar = int(int64(barWidth) * a.total / peak)
+		}
+		fmt.Fprintf(&b, "  %-8s %-18s n=%-7d total=%9.3fms mean=%8.1fµs max=%8.1fµs |%-*s|\n",
+			k.layer, k.name, a.count,
+			float64(a.total)/1e6, float64(a.total)/float64(a.count)/1e3, float64(a.max)/1e3,
+			barWidth, strings.Repeat("#", bar))
+	}
+	if len(instants) > 0 {
+		ikeys := make([]aggKey, 0, len(instants))
+		for k := range instants {
+			ikeys = append(ikeys, k)
+		}
+		sort.Slice(ikeys, func(i, j int) bool {
+			if ikeys[i].layer != ikeys[j].layer {
+				return ikeys[i].layer < ikeys[j].layer
+			}
+			if instants[ikeys[i]] != instants[ikeys[j]] {
+				return instants[ikeys[i]] > instants[ikeys[j]]
+			}
+			return ikeys[i].name < ikeys[j].name
+		})
+		b.WriteString("  instants:\n")
+		for _, k := range ikeys {
+			fmt.Fprintf(&b, "    %-8s %-18s n=%d\n", k.layer, k.name, instants[k])
+		}
+	}
+	return b.String()
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet faults trace-check race-runner bench bench-record
+.PHONY: build test check vet faults trace-check scale-check race-runner bench bench-record
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,17 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet faults trace-check
+check: vet faults trace-check scale-check
 	$(GO) test -race ./...
+
+# scale-check runs the scale-out server path under the race detector: the
+# SRQ primitive, sharded dispatch, admission control, the open-loop
+# generator, the capacity sweep (including its 512-client determinism
+# point), and the transport-leak regression tests that ride with them.
+scale-check:
+	$(GO) test -race -run 'SRQ|Shard|Admission|OpenLoop|Capacity|ParkedOrder|Evict|Hoard' \
+		./internal/ibsim/ ./internal/rpcrdma/ ./internal/oncrpc/ \
+		./internal/workload/ ./internal/experiments/
 
 # faults runs the failure-injection and recovery suite under the race
 # detector: fabric fault injection, client retransmit/reconnect, server

@@ -13,6 +13,14 @@
 // the concurrency. The per-run inspection flags (-metrics, -latency,
 // -trace, -tracelog) apply only to single runs.
 //
+// With -openloop the command runs the open-loop load generator instead of
+// IOzone: -clients hosts each offer -offered/clients MB/s on a
+// deterministic Poisson arrival process for -duration simulated
+// milliseconds, reporting achieved throughput, drops, and latency
+// quantiles. -shards enables the server's sharded SRQ dispatch path and
+// -max-conns its admission control; per-shard SRQ counters are printed
+// when sharding is on.
+//
 // -trace FILE records the run's structured virtual-time events in every
 // layer (DES kernel, fabric, RPC/RDMA, ONC RPC, NFS) and writes them as a
 // Chrome trace-event JSON file for chrome://tracing or ui.perfetto.dev,
@@ -54,6 +62,13 @@ func main() {
 	traceLog := flag.Bool("tracelog", false, "stream protocol trace lines to stderr (very verbose)")
 	sweep := flag.Int("sweep", 0, "sweep thread counts 1..N in parallel instead of one run")
 	workers := flag.Int("workers", 0, "concurrent simulations for -sweep (0 = one per core)")
+	openLoop := flag.Bool("openloop", false, "run the open-loop load generator instead of IOzone")
+	clients := flag.Int("clients", 1, "client hosts (-openloop)")
+	offered := flag.Float64("offered", 600, "aggregate offered load in MB/s (-openloop)")
+	durationMS := flag.Int("duration", 200, "measured window in simulated milliseconds (-openloop)")
+	shards := flag.Int("shards", 0, "server dispatch shards with a shared receive queue (0 = per-connection path)")
+	maxConns := flag.Int("max-conns", 0, "server admission-control connection cap (0 = unlimited)")
+	maxOut := flag.Int("max-outstanding", 32, "per-client in-flight cap before drops (-openloop)")
 	flag.Parse()
 
 	cfg := core.Config{Backend: core.BackendTmpfs}
@@ -100,6 +115,14 @@ func main() {
 	if *disk {
 		cfg.Backend = core.BackendDisk
 		cfg.PageCacheBytes = int64(*cacheGB)<<30 - 1<<30
+	}
+	cfg.ServerShards = *shards
+	cfg.MaxConns = *maxConns
+
+	if *openLoop {
+		cfg.Clients = *clients
+		runOpenLoop(cfg, *record, *fileSize, *offered, *durationMS, *maxOut)
+		return
 	}
 
 	if *sweep > 0 {
@@ -208,6 +231,44 @@ func runSweep(cfg core.Config, n, workers, record int, fileSize int64, direct bo
 		t.AddRow(i+1, res.Write.MBps, res.Read.MBps, res.Read.ClientCPUPct, res.Read.ServerCPUPct)
 	}
 	fmt.Print(t)
+}
+
+// runOpenLoop drives every client with a deterministic Poisson arrival
+// process at the given aggregate offered load and prints throughput,
+// latency quantiles, and — when the server runs sharded dispatch — the
+// per-shard SRQ counters.
+func runOpenLoop(cfg core.Config, record int, fileSize int64, offeredMBps float64, durationMS, maxOut int) {
+	cluster := core.NewCluster(cfg)
+	var res workload.OpenLoopResult
+	var err error
+	cluster.Start("openloop", func(p *des.Proc) {
+		res, err = workload.RunOpenLoop(p, cluster, workload.OpenLoopConfig{
+			RecordSize:          record,
+			FileSize:            fileSize,
+			OfferedPerClientBps: offeredMBps * 1e6 / float64(cfg.Clients),
+			Duration:            des.Duration(durationMS) * des.Duration(1e6),
+			MaxOutstanding:      maxOut,
+		})
+	})
+	cluster.Run()
+	if err != nil {
+		fatal("open-loop run failed: %v", err)
+	}
+	fmt.Printf("profile=%s transport=%v design=%v reg=%v clients=%d record=%d shards=%d\n",
+		cfg.Profile.Name, cfg.Transport, cfg.Design, cfg.RegMode, cfg.Clients, record, cfg.ServerShards)
+	fmt.Printf("offered %8.1f MB/s   achieved %8.1f MB/s   serverCPU %5.1f%%\n",
+		res.OfferedMBps, res.AchievedMBps, res.ServerCPUPct)
+	fmt.Printf("issued=%d completed=%d dropped=%d errors=%d\n",
+		res.Issued, res.Completed, res.Dropped, res.Errors)
+	fmt.Printf("latency µs: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+		res.P50, res.P95, res.P99, res.Latency.Max())
+	if rdma := cluster.Server.RDMA; rdma != nil {
+		for _, sh := range rdma.ShardStats() {
+			fmt.Printf("shard %d: conns=%d requests=%d maxQ=%d srqPosted=%d srqConsumed=%d limitEvents=%d starved=%d\n",
+				sh.Shard, sh.Conns, sh.Requests, sh.MaxQueueDepth,
+				sh.SRQPosted, sh.SRQConsumed, sh.SRQLimitEvents, sh.SRQStarved)
+		}
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -91,6 +91,19 @@ type Config struct {
 	// FSCapacity is the advertised export size.
 	FSCapacity int64
 
+	// ServerShards enables the server transport's sharded dispatch path:
+	// connections hash across this many shards, each owning a shared
+	// receive queue (SRQ), a completion-polling loop, and a slice of the
+	// worker pool. Zero keeps the per-connection receive path. Required in
+	// practice beyond a few tens of clients — per-connection receive rings
+	// scale memory and polling linearly with connection count.
+	ServerShards int
+
+	// MaxConns caps live server connections (admission control). Dialing
+	// clients beyond the cap are rejected and retry with exponential
+	// backoff until a slot frees. Zero means unlimited.
+	MaxConns int
+
 	Seed uint64
 }
 
@@ -207,12 +220,12 @@ func NewCluster(cfg Config) *Cluster {
 		case TransportRDMA:
 			sCfg := cfg.Profile.RDMAServer
 			sCfg.Design = cfg.Design
+			sCfg.Shards = cfg.ServerShards
+			sCfg.MaxConns = cfg.MaxConns
 			srv.RDMA = rpcrdma.NewServerTransport(p, srvNode, srv.Mgr, dispatcher, sCfg)
 			for _, cl := range c.Clients {
 				cl.Mgr = memreg.NewManager(p, cl.Node, memreg.Config{Mode: cfg.RegMode, CacheMaxBytes: cfg.CacheMaxBytes})
-				cq, sq := fab.Connect(cl.Node, srvNode, ibsim.QPConfig{})
-				srv.RDMA.Serve(sq)
-				cl.RDMA = newClientTransport(p, cq, cl)
+				cl.RDMA = connectRDMA(p, cl)
 				cl.Transport = cl.RDMA
 			}
 		case TransportIPoIB, TransportGigE:
@@ -249,6 +262,35 @@ func newClientTransport(p *des.Proc, cq *ibsim.QP, cl *Client) *rpcrdma.ClientTr
 	cfg.Design = cl.cluster.Cfg.Design
 	return rpcrdma.NewClientTransport(p, cq, cl.Mgr, cfg)
 }
+
+// connectRDMA dials the server for one client, honouring admission control:
+// a rejected connection is closed and redialled with exponential backoff
+// until the server has room. Used by both initial wiring and Reconnect. A
+// cluster whose MaxConns permanently starves a client is a configuration
+// error, so the retry budget is finite.
+func connectRDMA(p *des.Proc, cl *Client) *rpcrdma.ClientTransport {
+	cluster := cl.cluster
+	backoff := admissionBackoffBase
+	for attempt := 0; ; attempt++ {
+		cq, sq := cluster.Fabric.Connect(cl.Node, cluster.Server.Node, ibsim.QPConfig{})
+		if cluster.Server.RDMA.TryServe(sq) {
+			return newClientTransport(p, cq, cl)
+		}
+		cq.Close()
+		if attempt >= admissionRetryLimit {
+			panic(fmt.Sprintf("core: %s rejected by admission control %d times (MaxConns=%d too small for %d clients?)",
+				cl.Node.Name(), attempt+1, cluster.Cfg.MaxConns, cluster.Cfg.Clients))
+		}
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// Admission-control redial policy.
+const (
+	admissionBackoffBase des.Duration = 50_000 // 50µs, doubling per attempt
+	admissionRetryLimit               = 12
+)
 
 // EnableTracing installs a structured tracer on the cluster's simulation
 // and returns it. Call before Run; capacity <= 0 selects the default ring

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/des"
-	"repro/internal/ibsim"
 )
 
 // Reconnect replaces a failed RDMA connection with a fresh queue pair and
@@ -30,10 +29,7 @@ func (c *Client) Reconnect(p *des.Proc) error {
 	c.lostTimeouts += c.RDMA.Timeouts
 	c.lostRetransmits += c.RDMA.Retransmits
 	c.RDMA.Close()
-	cluster := c.cluster
-	cq, sq := cluster.Fabric.Connect(c.Node, cluster.Server.Node, ibsim.QPConfig{})
-	cluster.Server.RDMA.Serve(sq)
-	c.RDMA = newClientTransport(p, cq, c)
+	c.RDMA = connectRDMA(p, c)
 	if c.recovery == nil {
 		// No recovery wrapper: callers talk to the raw transport, so swap
 		// it in directly. With recovery enabled the wrapper stays installed

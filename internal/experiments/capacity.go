@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiments/runner"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CapacityPoint is one (client count, design, offered load) measurement of
+// the open-loop capacity sweep.
+type CapacityPoint struct {
+	Clients      int
+	Design       rpcrdma.Design
+	OfferedMBps  float64 // aggregate offered load
+	AchievedMBps float64
+	P50          float64 // µs
+	P99          float64 // µs
+	Issued       int64
+	Completed    int64
+	Dropped      int64
+	ServerCPUPct float64
+	// Shard-path evidence aggregated over the server's shards.
+	SRQStarved     int64
+	SRQLimitEvents int64
+	MaxQueueDepth  int
+}
+
+// Capacity is the scale-out capacity sweep result: the full
+// throughput-vs-latency curves plus a per-(clients, design) saturation-knee
+// summary.
+type Capacity struct {
+	Points []CapacityPoint
+	Curves *stats.Table
+	Knee   *stats.Table
+}
+
+// CapacityOptions tunes the sweep; the zero value reproduces the default
+// grid.
+type CapacityOptions struct {
+	// ClientCounts is the set of concurrent client hosts (default
+	// {8, 32, 128, 512}).
+	ClientCounts []int
+
+	// AggregateOfferedMBps is the rising offered-load axis, aggregate
+	// across all clients (default {300, 600, 1200, 2400} — straddling the
+	// server stack's ~900 MB/s ceiling so every client count crosses its
+	// knee).
+	AggregateOfferedMBps []float64
+
+	// Shards is the server transport's dispatch shard count (default 8).
+	Shards int
+
+	// Seed derives the cluster and every client's arrival process.
+	Seed uint64
+}
+
+func (o *CapacityOptions) defaults() {
+	if len(o.ClientCounts) == 0 {
+		o.ClientCounts = []int{8, 32, 128, 512}
+	}
+	if len(o.AggregateOfferedMBps) == 0 {
+		o.AggregateOfferedMBps = []float64{300, 600, 1200, 2400}
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Saturation-knee definition. A point is past the knee when raising offered
+// load stops buying throughput: the achieved gain over the previous load is
+// below kneeGainRatio of the offered increment while achieved already sits
+// within kneePeakRatio of the curve's maximum (the second condition rejects
+// low-load measurement-window artifacts). saturationRatio is the coarser
+// per-point check — achieved below this fraction of offered means the
+// server is shedding the difference.
+const (
+	kneeGainRatio   = 0.5
+	kneePeakRatio   = 0.8
+	saturationRatio = 0.9
+)
+
+// RunCapacity sweeps client count × offered load for both transfer designs
+// on the DDR multi-client testbed (RAID-0 + page cache backend) with the
+// sharded SRQ server path, producing throughput-vs-p99 curves and a
+// saturation-knee summary. An open-loop generator (workload.RunOpenLoop)
+// keeps offering load past the knee, which is what exposes it: a
+// closed-loop client would slow down to match capacity and the curve would
+// never bend.
+func RunCapacity(scale Scale) *Capacity {
+	return RunCapacityWith(scale, CapacityOptions{})
+}
+
+// RunCapacityWith is RunCapacity with an explicit grid.
+func RunCapacityWith(scale Scale, opts CapacityOptions) *Capacity {
+	opts.defaults()
+	out := &Capacity{
+		Curves: stats.NewTable("Capacity: open-loop offered load vs achieved throughput and latency, Linux DDR profile, RAID-0 + page cache, sharded SRQ server",
+			"clients", "design", "offered MB/s", "achieved MB/s", "p50 µs", "p99 µs", "srv CPU%", "issued", "dropped", "srq starved", "maxQ"),
+		Knee: stats.NewTable("Capacity: saturation knee per client count (first offered load whose achieved gain falls below half the offered increment)",
+			"clients", "design", "knee MB/s", "peak MB/s", "p99@peak µs"),
+	}
+	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
+	pts := runner.Grid(len(opts.ClientCounts), len(designs), len(opts.AggregateOfferedMBps))
+	results := pmap(len(pts), func(i int) CapacityPoint {
+		c := pts[i]
+		return runCapacityPoint(opts.ClientCounts[c[0]], designs[c[1]],
+			opts.AggregateOfferedMBps[c[2]], scale, opts)
+	})
+	for i := range pts {
+		r := results[i]
+		out.Points = append(out.Points, r)
+		out.Curves.AddRow(r.Clients, r.Design.String(), r.OfferedMBps, r.AchievedMBps,
+			r.P50, r.P99, r.ServerCPUPct, r.Issued, r.Dropped, r.SRQStarved, r.MaxQueueDepth)
+	}
+	// Knee summary: points arrive in row-major grid order, so each
+	// (clients, design) group is a contiguous run over the load axis.
+	loads := len(opts.AggregateOfferedMBps)
+	for g := 0; g+loads <= len(out.Points); g += loads {
+		run := out.Points[g : g+loads]
+		peak := run[0]
+		for _, r := range run {
+			if r.AchievedMBps > peak.AchievedMBps {
+				peak = r
+			}
+		}
+		knee := "-"
+		for i := 1; i < len(run); i++ {
+			gain := run[i].AchievedMBps - run[i-1].AchievedMBps
+			step := run[i].OfferedMBps - run[i-1].OfferedMBps
+			if gain < kneeGainRatio*step && run[i].AchievedMBps >= kneePeakRatio*peak.AchievedMBps {
+				knee = fmt.Sprintf("%.0f", run[i].OfferedMBps)
+				break
+			}
+		}
+		out.Knee.AddRow(run[0].Clients, run[0].Design.String(), knee,
+			peak.AchievedMBps, peak.P99)
+	}
+	return out
+}
+
+// runCapacityPoint builds one cluster and measures one open-loop point.
+func runCapacityPoint(clients int, design rpcrdma.Design, aggMBps float64, scale Scale, opts CapacityOptions) CapacityPoint {
+	const recSize = 64 << 10
+	fileSize := scale.div64(4 << 20)
+	if fileSize < recSize {
+		fileSize = recSize
+	}
+	duration := des.Duration(scale.div64(int64(800 * time.Millisecond)))
+	if duration < des.Duration(10*time.Millisecond) {
+		duration = des.Duration(10 * time.Millisecond)
+	}
+
+	prof := profiles.LinuxDDR()
+	// RR parks every reply until the client's DONE; at hundreds of clients
+	// the default pool would throttle long before the stack ceiling, so
+	// scale it with the connection count. Workers likewise: each shard
+	// needs a few to keep its slice of connections busy.
+	prof.RDMAServer.ReplyBufPool = 4 * clients
+	if w := 4 * opts.Shards; w > prof.RDMAServer.Workers {
+		prof.RDMAServer.Workers = w
+	}
+
+	cluster := core.NewCluster(core.Config{
+		Profile:      prof,
+		Transport:    core.TransportRDMA,
+		Design:       design,
+		RegMode:      memreg.AllPhysical,
+		Clients:      clients,
+		Backend:      core.BackendDisk,
+		ServerShards: opts.Shards,
+		MaxConns:     clients,
+		Seed:         opts.Seed,
+	})
+
+	pt := CapacityPoint{Clients: clients, Design: design}
+	cluster.Start("capacity-driver", func(p *des.Proc) {
+		res, err := workload.RunOpenLoop(p, cluster, workload.OpenLoopConfig{
+			RecordSize:          recSize,
+			FileSize:            fileSize,
+			OfferedPerClientBps: aggMBps * 1e6 / float64(clients),
+			Duration:            duration,
+			MaxOutstanding:      32,
+			Seed:                opts.Seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("capacity: open-loop run failed: %v", err))
+		}
+		pt.OfferedMBps = res.OfferedMBps
+		pt.AchievedMBps = res.AchievedMBps
+		pt.P50, pt.P99 = res.P50, res.P99
+		pt.Issued, pt.Completed, pt.Dropped = res.Issued, res.Completed, res.Dropped
+		pt.ServerCPUPct = res.ServerCPUPct
+		for _, s := range cluster.Server.RDMA.ShardStats() {
+			pt.SRQStarved += s.SRQStarved
+			pt.SRQLimitEvents += s.SRQLimitEvents
+			if s.MaxQueueDepth > pt.MaxQueueDepth {
+				pt.MaxQueueDepth = s.MaxQueueDepth
+			}
+		}
+	})
+	cluster.Run()
+	return pt
+}

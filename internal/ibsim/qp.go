@@ -200,6 +200,7 @@ type QP struct {
 
 	sq     *des.Queue // *SendWQE
 	rq     []*RecvWQE
+	srq    *SRQ // when attached, receives draw from the shared pool, not rq
 	SendCQ *CQ
 	RecvCQ *CQ
 
@@ -262,6 +263,17 @@ func (q *QP) setError(err error) {
 	}
 }
 
+// Terminate moves the endpoint (and, via propagation, its peer) to the
+// error state with the given protocol-level cause — e.g. a server rejecting
+// a connection at admission. Unlike InjectError it preserves err's chain
+// unwrapped, so both ends can classify the cause with errors.Is.
+func (q *QP) Terminate(err error) {
+	if err == nil {
+		err = ErrQPError
+	}
+	q.setError(err)
+}
+
 // InjectError forces the connection into the error state at the current
 // virtual instant — the fault-injection entry point. In-flight WQEs flush
 // with errors and both ends' CQs observe the death (see setError). The
@@ -277,13 +289,51 @@ func (q *QP) InjectError(err error) {
 	q.setError(err)
 }
 
-// PostRecv posts a receive buffer of the given capacity.
+// PostRecv posts a receive buffer of the given capacity. A QP attached to
+// an SRQ has no private receive queue; receives must be posted to the SRQ.
 func (q *QP) PostRecv(wrid uint64, capacity int) {
+	if q.srq != nil {
+		panic("ibsim: PostRecv on an SRQ-attached QP")
+	}
 	q.rq = append(q.rq, &RecvWQE{WRID: wrid, Cap: capacity})
 }
 
-// PostedRecvs returns the current receive queue depth.
+// PostedRecvs returns the current receive queue depth (0 when the QP draws
+// from an SRQ).
 func (q *QP) PostedRecvs() int { return len(q.rq) }
+
+// AttachSRQ switches the endpoint's receive side to the shared receive
+// queue: arriving sends consume pooled WQEs instead of the private ring.
+// Must be attached before any private receives are posted.
+func (q *QP) AttachSRQ(s *SRQ) {
+	if len(q.rq) > 0 {
+		panic("ibsim: AttachSRQ after PostRecv")
+	}
+	q.srq = s
+}
+
+// SRQ returns the attached shared receive queue, or nil.
+func (q *QP) SRQ() *SRQ { return q.srq }
+
+// SetRecvCQ redirects receive completions to cq (a shared per-shard CQ, in
+// the scale-out server). Call before any traffic arrives; CQEs carry their
+// QP, so consumers of a shared CQ demultiplex by CQE.QP.
+func (q *QP) SetRecvCQ(cq *CQ) { q.RecvCQ = cq }
+
+// takeRecv pops the next receive buffer for an arriving send: from the
+// attached SRQ when present, else from the private receive queue. Nil means
+// receiver-not-ready.
+func (q *QP) takeRecv() *RecvWQE {
+	if q.srq != nil {
+		return q.srq.take()
+	}
+	if len(q.rq) == 0 {
+		return nil
+	}
+	r := q.rq[0]
+	q.rq = q.rq[1:]
+	return r
+}
 
 // PostSend enqueues a work request for the send engine. Posting to a closed
 // endpoint completes the request with a flush error instead of panicking:
@@ -430,7 +480,8 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 		q.complete(w, peer.errSt, 0)
 		return
 	}
-	if len(peer.rq) == 0 {
+	r := peer.takeRecv()
+	if r == nil {
 		ctr.Inc("rnr")
 		if w.seq != 0 {
 			if tr := s.Tracer(); tr != nil {
@@ -447,8 +498,6 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 		q.deliverSend(dp, w, attempt+1)
 		return
 	}
-	r := peer.rq[0]
-	peer.rq = peer.rq[1:]
 	if len(w.Payload) > r.Cap {
 		err := fmt.Errorf("%w: %d > %d", ErrRecvOverflow, len(w.Payload), r.Cap)
 		q.setError(err)

@@ -53,23 +53,29 @@ type drcClient struct {
 
 // evict removes completed entries in FIFO order until at most target
 // remain. Executing placeholders are never evicted: dropping one would let
-// a retransmission re-execute a call that is still running.
+// a retransmission re-execute a call that is still running. A single
+// forward pass compacts order in place — the old rescan-from-the-head loop
+// was O(n²) whenever executing placeholders sat at the FIFO head. If every
+// entry is in flight the window transiently exceeds capacity; that is
+// tolerated.
 func (cl *drcClient) evict(target int) {
-	for len(cl.entries) > target {
-		idx := -1
-		for i, k := range cl.order {
-			if !cl.entries[k].executing {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			return // everything in flight; tolerate transient over-capacity
-		}
-		k := cl.order[idx]
-		cl.order = append(cl.order[:idx], cl.order[idx+1:]...)
-		delete(cl.entries, k)
+	if len(cl.entries) <= target {
+		return
 	}
+	keep := cl.order[:0]
+	for i, k := range cl.order {
+		if len(cl.entries) > target && !cl.entries[k].executing {
+			delete(cl.entries, k)
+			continue
+		}
+		if len(cl.entries) <= target {
+			// Done evicting: keep the rest of the window wholesale.
+			keep = append(keep, cl.order[i:]...)
+			break
+		}
+		keep = append(keep, k)
+	}
+	cl.order = keep
 }
 
 type drcState int

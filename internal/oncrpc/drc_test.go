@@ -180,6 +180,86 @@ func TestDRCPerClientBounds(t *testing.T) {
 	sim.Run()
 }
 
+// TestDRCEvictSkipsExecutingHead covers eviction when the FIFO head is an
+// executing placeholder: the single forward pass must skip it (an executing
+// entry is never evicted), remove completed entries beyond it, and leave
+// order and entries consistent.
+func TestDRCEvictSkipsExecutingHead(t *testing.T) {
+	cl := &drcClient{entries: make(map[clientKey]*drcEntry)}
+	add := func(xid uint32, executing bool) {
+		k := clientKey{xid: xid, prog: 1, proc: 1}
+		cl.entries[k] = &drcEntry{key: k, executing: executing}
+		cl.order = append(cl.order, k)
+	}
+	add(1, true) // head: in flight, must survive
+	add(2, false)
+	add(3, false)
+	add(4, false)
+	cl.evict(2)
+	if len(cl.entries) != 2 || len(cl.order) != 2 {
+		t.Fatalf("entries=%d order=%d, want 2/2", len(cl.entries), len(cl.order))
+	}
+	if _, ok := cl.entries[clientKey{xid: 1, prog: 1, proc: 1}]; !ok {
+		t.Fatal("executing head was evicted")
+	}
+	if _, ok := cl.entries[clientKey{xid: 4, prog: 1, proc: 1}]; !ok {
+		t.Fatal("newest completed entry was evicted before older ones")
+	}
+	for _, k := range cl.order {
+		if _, ok := cl.entries[k]; !ok {
+			t.Fatalf("order holds evicted key %+v", k)
+		}
+	}
+	// All-executing window: eviction tolerates transient over-capacity.
+	cl2 := &drcClient{entries: make(map[clientKey]*drcEntry)}
+	for xid := uint32(1); xid <= 3; xid++ {
+		k := clientKey{xid: xid, prog: 1, proc: 1}
+		cl2.entries[k] = &drcEntry{key: k, executing: true}
+		cl2.order = append(cl2.order, k)
+	}
+	cl2.evict(1)
+	if len(cl2.entries) != 3 || len(cl2.order) != 3 {
+		t.Fatalf("all-executing window shrank: entries=%d order=%d", len(cl2.entries), len(cl2.order))
+	}
+}
+
+// TestDRCEvictionAroundExecutingCall drives the same scenario through the
+// dispatcher: a slow call holds the FIFO head as an executing placeholder
+// while fast traffic churns the window past capacity. The churn must evict
+// only completed entries, and the slow call must still replay afterwards.
+func TestDRCEvictionAroundExecutingCall(t *testing.T) {
+	d := NewDispatcher()
+	slow := &slowService{delay: time.Millisecond}
+	fast := &countingService{}
+	d.Register(slow)
+	d.Register(fast)
+	d.EnableDRC(2)
+	sim := des.New()
+	slowHdr := &CallHeader{XID: 1, Prog: 556, Vers: 1, Proc: 1, Cred: Auth{Flavor: AuthSys, Machine: "c0"}}
+	slowRaw := EncodeCall(slowHdr, nil)
+	sim.Spawn("original", func(p *des.Proc) {
+		if reply, _, err := d.Dispatch(p, slowRaw, DispatchOpts{}); err != nil || reply == nil {
+			t.Errorf("original slow call: reply=%v err=%v", reply, err)
+		}
+	})
+	sim.SpawnAt(des.Time(100*time.Microsecond), "churn", func(p *des.Proc) {
+		hdr := &CallHeader{Prog: 555, Vers: 1, Proc: 1, Cred: Auth{Flavor: AuthSys, Machine: "c0"}}
+		for xid := uint32(2); xid <= 6; xid++ {
+			hdr.XID = xid
+			d.Dispatch(p, EncodeCall(hdr, nil), DispatchOpts{})
+		}
+	})
+	sim.SpawnAt(des.Time(5*time.Millisecond), "retransmit", func(p *des.Proc) {
+		if reply, _, err := d.Dispatch(p, slowRaw, DispatchOpts{}); err != nil || reply == nil {
+			t.Errorf("slow call should replay after churn: reply=%v err=%v", reply, err)
+		}
+	})
+	sim.Run()
+	if slow.calls != 1 {
+		t.Errorf("slow call executed %d times, want 1 (placeholder evicted by churn?)", slow.calls)
+	}
+}
+
 func TestDRCBounded(t *testing.T) {
 	d := NewDispatcher()
 	svc := &countingService{}

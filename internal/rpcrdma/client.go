@@ -69,6 +69,23 @@ type Config struct {
 	// left for the recovery layer to replace. Zero means no retransmits
 	// (first timeout is fatal) when CallTimeout is set.
 	RetryLimit int
+
+	// Shards enables sharded dispatch (server side only): connections hash
+	// across this many shards, each owning a completion-polling loop, a
+	// shared receive queue, and Workers/Shards worker threads. Zero keeps
+	// the legacy one-receive-loop-per-connection path.
+	Shards int
+
+	// MaxConns caps live connections at the server (admission control);
+	// connections beyond it are rejected with ErrAdmission. Zero means
+	// unlimited.
+	MaxConns int
+
+	// SRQDepth and SRQLimit size each shard's shared receive queue: depth
+	// bounds pooled receive WQEs, limit is the low watermark that wakes the
+	// refill loop. Both take scale-appropriate defaults when Shards > 0.
+	SRQDepth int
+	SRQLimit int
 }
 
 // hasSerial reports whether the serialized-path model is enabled.
@@ -97,6 +114,14 @@ func (c *Config) defaults() {
 	}
 	if c.ReplyBufPool <= 0 {
 		c.ReplyBufPool = c.Credits
+	}
+	if c.Shards > 0 {
+		if c.SRQDepth <= 0 {
+			c.SRQDepth = 4096
+		}
+		if c.SRQLimit <= 0 {
+			c.SRQLimit = c.SRQDepth / 8
+		}
 	}
 }
 

@@ -46,8 +46,8 @@ type serverConn struct {
 	// parkedOrder records the XIDs parked for this connection, in park
 	// order, so teardown releases them deterministically (iterating the
 	// shared parked map would leak map ordering into the event schedule).
-	// Entries already released by a DONE are left in place; releaseParked
-	// is a no-op for them.
+	// releaseParked prunes entries as DONEs arrive, keeping the invariant
+	// len(parkedOrder) == parked.
 	parkedOrder []uint32
 
 	// Per-connection reply-buffer accounting, used when dynamic credits
@@ -55,6 +55,24 @@ type serverConn struct {
 	// and only its own grant.
 	parked     int
 	replySlots *des.Resource
+
+	// shard is the dispatch shard this connection is assigned to (nil on
+	// the legacy per-connection receive path).
+	shard *serverShard
+}
+
+// pruneParkedOrder removes the first occurrence of xid from the park-order
+// slice. Without the prune the slice grows for the life of a Read-Read
+// connection: releaseParked used to delete the map entry and decrement the
+// counter but leave the XID in place, so a long-lived connection leaked one
+// slice slot per parked reply.
+func (c *serverConn) pruneParkedOrder(xid uint32) {
+	for i, v := range c.parkedOrder {
+		if v == xid {
+			c.parkedOrder = append(c.parkedOrder[:i], c.parkedOrder[i+1:]...)
+			return
+		}
+	}
 }
 
 // ServerTransport is the server endpoint of the RPC/RDMA transport: it
@@ -73,7 +91,17 @@ type ServerTransport struct {
 	closed     bool
 	connSeq    uint64
 
+	// Sharded dispatch (cfg.Shards > 0): connections hash across shards,
+	// each with its own CQ-polling loop, SRQ, and worker slice.
+	shards []*serverShard
+
+	// Admission control.
+	conns     []*serverConn // every accepted connection, in accept order
+	liveConns int           // accepted minus dead
+
 	// Stats.
+	ConnsAccepted int64
+	ConnsRejected int64
 	Requests     int64
 	LongCalls    int64
 	LongReplies  int64
@@ -99,8 +127,14 @@ func NewServerTransport(p *des.Proc, node *ibsim.Node, mgr *memreg.Manager, disp
 	if cfg.hasSerial() {
 		s.serial = des.NewResource(node.Sim(), node.Name()+"/rpcrdma-serial", 1)
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		node.Sim().Spawn(fmt.Sprintf("%s/nfsd-%d", node.Name(), i), s.worker)
+	if cfg.Shards > 0 {
+		for i := 0; i < cfg.Shards; i++ {
+			s.shards = append(s.shards, newServerShard(s, i))
+		}
+	} else {
+		for i := 0; i < cfg.Workers; i++ {
+			node.Sim().Spawn(fmt.Sprintf("%s/nfsd-%d", node.Name(), i), s.worker)
+		}
 	}
 	return s
 }
@@ -119,16 +153,43 @@ func (s *ServerTransport) Close() {
 	if !s.closed {
 		s.closed = true
 		s.workQ.Close()
+		for _, sh := range s.shards {
+			sh.workQ.Close()
+		}
 	}
 }
 
-// Serve attaches an accepted connection: receives are posted and the
-// connection's messages feed the shared worker queue.
-func (s *ServerTransport) Serve(qp *ibsim.QP) {
+// LiveConns returns the number of accepted, not-yet-dead connections.
+func (s *ServerTransport) LiveConns() int { return s.liveConns }
+
+// Serve attaches an accepted connection, ignoring admission: callers that
+// predate admission control (and tests that must not race it) keep the old
+// contract. With MaxConns unset the two entry points are identical.
+func (s *ServerTransport) Serve(qp *ibsim.QP) { s.TryServe(qp) }
+
+// TryServe attaches an accepted connection and reports whether admission
+// control let it in. A rejected QP is terminated with ErrAdmission — the
+// peer observes the error on its own queue pair and is expected to back
+// off and redial. Accepted connections either join a dispatch shard
+// (sharded mode) or get the legacy private receive ring plus a dedicated
+// receive loop.
+func (s *ServerTransport) TryServe(qp *ibsim.QP) bool {
+	if s.cfg.MaxConns > 0 && s.liveConns >= s.cfg.MaxConns {
+		s.ConnsRejected++
+		qp.Terminate(fmt.Errorf("%w: %d live connections", ErrAdmission, s.liveConns))
+		return false
+	}
 	s.connSeq++
+	s.liveConns++
+	s.ConnsAccepted++
 	conn := &serverConn{srv: s, qp: qp, id: s.connSeq}
 	if s.cfg.DynamicCredits {
 		conn.replySlots = des.NewResource(s.node.Sim(), s.node.Name()+"/conn-replypool", s.cfg.ReplyBufPool)
+	}
+	s.conns = append(s.conns, conn)
+	if len(s.shards) > 0 {
+		s.shards[int(conn.id)%len(s.shards)].attach(conn)
+		return true
 	}
 	for i := 0; i < s.cfg.Credits; i++ {
 		qp.PostRecv(uint64(i), s.cfg.recvBufSize())
@@ -145,9 +206,16 @@ func (s *ServerTransport) Serve(qp *ibsim.QP) {
 			if err != nil {
 				continue
 			}
+			if hdr.Type == MsgDone {
+				// Served inline: a DONE queued behind data calls can
+				// deadlock the reply-slot pool (see handleDone).
+				s.handleDone(p, conn, hdr.XID)
+				continue
+			}
 			s.workQ.Put(&serverTask{conn: conn, hdr: hdr, body: body})
 		}
 	})
+	return true
 }
 
 // worker is one server thread (nfsd): the paper's two-part state machine —
@@ -173,14 +241,41 @@ func (s *ServerTransport) connDead(p *des.Proc, conn *serverConn) {
 		return
 	}
 	conn.dead = true
-	for _, xid := range conn.parkedOrder {
+	s.liveConns--
+	if conn.shard != nil {
+		conn.shard.nconns--
+	}
+	// Snapshot then detach the order slice before iterating: releaseParked
+	// prunes conn.parkedOrder in place, which would corrupt a range over the
+	// live slice.
+	order := conn.parkedOrder
+	conn.parkedOrder = nil
+	for _, xid := range order {
 		s.releaseParked(p, connXID{conn, xid})
 	}
-	conn.parkedOrder = nil
 }
 
 // traceKey builds the trace pairing id of one (connection, XID) exchange.
 func (c *serverConn) traceKey(xid uint32) uint64 { return c.id<<32 | uint64(xid) }
+
+// handleDone releases the reply parked for an RDMA_DONE. It is called
+// inline from the receive loops rather than through the worker queue:
+// queueing DONEs behind data calls deadlocks the Read-Read design under
+// open-loop overload — every worker blocks reserving a reply slot while the
+// DONEs that would free the slots sit unserved behind them.
+func (s *ServerTransport) handleDone(p *des.Proc, conn *serverConn, xid uint32) {
+	s.DoneRecv++
+	if tr := s.node.Sim().Tracer(); tr != nil {
+		tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindDone, s.node.Name(), "done-recv", conn.traceKey(xid), 0)
+	}
+	// DONE processing crosses the same serialized receive path as any
+	// other message — part of why the Read-Read server saturates below
+	// the Read-Write one even at full pipeline depth (§5.1).
+	if s.serial != nil {
+		s.serial.Use(p, 1, s.cfg.SerialBase)
+	}
+	s.releaseParked(p, connXID{conn, xid})
+}
 
 // handle wraps the real handler in a serve span while tracing.
 func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
@@ -204,17 +299,7 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask) {
 		return
 	}
 	if hdr.Type == MsgDone {
-		s.DoneRecv++
-		if tr := s.node.Sim().Tracer(); tr != nil {
-			tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindDone, s.node.Name(), "done-recv", task.conn.traceKey(hdr.XID), 0)
-		}
-		// DONE processing crosses the same serialized receive path as any
-		// other message — part of why the Read-Read server saturates below
-		// the Read-Write one even at full pipeline depth (§5.1).
-		if s.serial != nil {
-			s.serial.Use(p, 1, s.cfg.SerialBase)
-		}
-		s.releaseParked(p, connXID{task.conn, hdr.XID})
+		s.handleDone(p, task.conn, hdr.XID)
 		return
 	}
 	s.Requests++
@@ -671,6 +756,7 @@ func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) {
 	for _, c := range pr.chunks {
 		s.mgr.Put(p, c)
 	}
+	key.conn.pruneParkedOrder(key.xid)
 	key.conn.parked--
 	if key.conn.replySlots != nil {
 		key.conn.replySlots.Release(1)

@@ -1,0 +1,163 @@
+package rpcrdma
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ibsim"
+)
+
+// serverShard is one dispatch shard of a scaled-out server transport. Each
+// shard owns a shared receive CQ, an SRQ feeding every connection assigned
+// to it (hash by connection id), a work queue, and a slice of the worker
+// pool. Receive-side resources therefore scale with shard count and SRQ
+// depth, not with connection count — the per-connection receive rings that
+// stop RDMA servers from scaling past tens of connections (RDMAvisor) are
+// gone, and completion processing parallelizes across shards instead of
+// funnelling through one receive loop per connection.
+type serverShard struct {
+	srv   *ServerTransport
+	id    int
+	cq    *ibsim.CQ
+	srq   *ibsim.SRQ
+	workQ *des.Queue
+	conns map[*ibsim.QP]*serverConn
+
+	nextWRID uint64
+
+	// Stats.
+	nconns        int   // live connections attached to this shard
+	requests      int64 // messages dispatched by this shard's receive loop
+	maxQueueDepth int   // high-water mark of the shard work queue
+}
+
+func newServerShard(s *ServerTransport, id int) *serverShard {
+	node := s.node
+	sh := &serverShard{
+		srv:   s,
+		id:    id,
+		cq:    ibsim.NewCQ(node, fmt.Sprintf("%s/shard%d/rcq", node.Name(), id)),
+		workQ: des.NewQueue(node.Sim(), fmt.Sprintf("%s/shard%d/workq", node.Name(), id)),
+		conns: make(map[*ibsim.QP]*serverConn),
+	}
+	sh.srq = ibsim.NewSRQ(node, fmt.Sprintf("%s/shard%d/srq", node.Name(), id),
+		ibsim.SRQConfig{Depth: s.cfg.SRQDepth, Limit: s.cfg.SRQLimit})
+	for sh.srq.PostRecv(sh.nextWRID, s.cfg.recvBufSize()) {
+		sh.nextWRID++
+	}
+	workers := s.cfg.Workers / s.cfg.Shards
+	if workers < 1 {
+		workers = 1
+	}
+	node.Sim().Spawn(fmt.Sprintf("%s/shard%d/recv", node.Name(), id), sh.recvLoop)
+	node.Sim().Spawn(fmt.Sprintf("%s/shard%d/refill", node.Name(), id), sh.refillLoop)
+	for i := 0; i < workers; i++ {
+		node.Sim().Spawn(fmt.Sprintf("%s/shard%d/nfsd-%d", node.Name(), id, i), sh.worker)
+	}
+	return sh
+}
+
+// attach assigns a connection to this shard: the QP's completions land on
+// the shard CQ and its receives draw from the shard SRQ.
+func (sh *serverShard) attach(conn *serverConn) {
+	conn.shard = sh
+	conn.qp.SetRecvCQ(sh.cq)
+	conn.qp.AttachSRQ(sh.srq)
+	sh.conns[conn.qp] = conn
+	sh.nconns++
+}
+
+// recvLoop is the shard's completion-polling loop: one loop serves every
+// connection on the shard, demultiplexing by CQE.QP. A connection error
+// kills only that connection; the shard — and every other connection on it
+// — keeps running.
+func (sh *serverShard) recvLoop(p *des.Proc) {
+	s := sh.srv
+	for {
+		cqe := sh.cq.Wait(p)
+		if cqe == nil {
+			return
+		}
+		conn := sh.conns[cqe.QP]
+		if cqe.Err != nil {
+			if conn != nil {
+				s.connDead(p, conn)
+			}
+			continue
+		}
+		// Return the consumed WQE to the shared pool straight away; the
+		// refill loop is only a safety net for bursts that outrun this.
+		sh.srq.PostRecv(cqe.WRID, s.cfg.recvBufSize())
+		if conn == nil || conn.dead {
+			continue
+		}
+		hdr, body, err := DecodeHeader(cqe.Payload)
+		if err != nil {
+			continue
+		}
+		if hdr.Type == MsgDone {
+			// Served inline: a DONE queued behind data calls can deadlock
+			// the reply-slot pool (see handleDone).
+			s.handleDone(p, conn, hdr.XID)
+			continue
+		}
+		sh.requests++
+		if d := sh.workQ.Len(); d > sh.maxQueueDepth {
+			sh.maxQueueDepth = d
+		}
+		sh.workQ.Put(&serverTask{conn: conn, hdr: hdr, body: body})
+	}
+}
+
+// refillLoop tops the SRQ back up whenever the low-watermark limit event
+// fires — the IB SRQ_LIMIT asynchronous-event pattern.
+func (sh *serverShard) refillLoop(p *des.Proc) {
+	for {
+		sh.srq.ArmLimit().Wait(p)
+		for sh.srq.PostRecv(sh.nextWRID, sh.srv.cfg.recvBufSize()) {
+			sh.nextWRID++
+		}
+	}
+}
+
+// worker drains the shard work queue through the shared handler.
+func (sh *serverShard) worker(p *des.Proc) {
+	for {
+		v, ok := sh.workQ.Get(p)
+		if !ok {
+			return
+		}
+		sh.srv.handle(p, v.(*serverTask))
+	}
+}
+
+// ShardStat is one shard's externally visible counters.
+type ShardStat struct {
+	Shard         int
+	Conns         int   // live connections currently attached
+	Requests      int64 // messages dispatched
+	MaxQueueDepth int   // work-queue high-water mark
+	SRQPosted     int64
+	SRQConsumed   int64
+	SRQLimitEvents int64
+	SRQStarved    int64 // takes that found the pool empty (RNR stalls)
+}
+
+// ShardStats snapshots per-shard counters; empty when dispatch is not
+// sharded.
+func (s *ServerTransport) ShardStats() []ShardStat {
+	out := make([]ShardStat, 0, len(s.shards))
+	for _, sh := range s.shards {
+		out = append(out, ShardStat{
+			Shard:          sh.id,
+			Conns:          sh.nconns,
+			Requests:       sh.requests,
+			MaxQueueDepth:  sh.maxQueueDepth,
+			SRQPosted:      sh.srq.Posted,
+			SRQConsumed:    sh.srq.Consumed,
+			SRQLimitEvents: sh.srq.LimitEvents,
+			SRQStarved:     sh.srq.Starved,
+		})
+	}
+	return out
+}

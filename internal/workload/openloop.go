@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/stats"
+)
+
+// OpenLoopConfig parameterizes the open-loop load generator. Unlike the
+// closed-loop IOzone shape — where each thread's next request waits for the
+// previous one, so offered load collapses to match capacity and latency
+// never shows the overload regime — an open-loop generator keeps issuing
+// requests on its own deterministic arrival process regardless of how slow
+// replies are. Driving offered load past the knee is what exposes the
+// throughput-vs-p99-latency tradeoff (RFP's motivation for measuring the
+// knee rather than bandwidth alone).
+type OpenLoopConfig struct {
+	// RecordSize is the read size per request (default 64 KiB).
+	RecordSize int
+
+	// FileSize is the per-client file each generator reads at random
+	// record-aligned offsets (default 64 records).
+	FileSize int64
+
+	// OfferedPerClientBps is the offered load per client in bytes per
+	// simulated second; arrivals are Poisson with mean gap
+	// RecordSize/OfferedPerClientBps.
+	OfferedPerClientBps float64
+
+	// ThinkTime is added to every arrival gap (a pessimistic client-side
+	// processing delay); zero for pure Poisson arrivals.
+	ThinkTime des.Duration
+
+	// Duration is the measured generation window in virtual time.
+	Duration des.Duration
+
+	// MaxOutstanding caps in-flight requests per client; arrivals beyond it
+	// are counted as drops rather than queued without bound (default 64).
+	// Drops are the open-loop signal that the server is past saturation.
+	MaxOutstanding int
+
+	// Seed derives every client's arrival process; same seed, same arrivals.
+	Seed uint64
+}
+
+func (c *OpenLoopConfig) defaults() {
+	if c.RecordSize <= 0 {
+		c.RecordSize = 64 << 10
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 64 * int64(c.RecordSize)
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 64
+	}
+	if c.Duration <= 0 {
+		c.Duration = des.Duration(100 * time.Millisecond)
+	}
+}
+
+// OpenLoopResult is the measured outcome of one open-loop run.
+type OpenLoopResult struct {
+	OfferedMBps  float64 // aggregate offered load
+	AchievedMBps float64 // completed bytes over the full run incl. drain
+	Issued       int64   // arrivals inside the window
+	Completed    int64   // requests that finished successfully
+	Dropped      int64   // arrivals rejected at the outstanding cap
+	Errors       int64
+	Latency      stats.Histogram // per-request latency, µs
+	P50, P95, P99 float64        // µs
+	ServerCPUPct float64
+	Elapsed      des.Time
+}
+
+// RunOpenLoop drives every client of the cluster with an independent
+// deterministic Poisson arrival process for cfg.Duration, then drains the
+// in-flight tail and reports aggregate throughput and latency quantiles.
+func RunOpenLoop(p *des.Proc, cluster *core.Cluster, cfg OpenLoopConfig) (OpenLoopResult, error) {
+	cfg.defaults()
+	n := len(cluster.Clients)
+	sim := p.Sim()
+	files := make([]*core.File, n)
+	var firstErr error
+	fail := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// Populate: each client writes its own file so reads hit allocated
+	// space (and warm the server page cache the way the paper's sequence
+	// does).
+	parallel(p, "ol-populate", n, func(wp *des.Proc, i int) {
+		cl := cluster.Clients[i]
+		f, err := cl.Create(wp, fmt.Sprintf("openloop.%d", i))
+		if err != nil {
+			fail(err)
+			return
+		}
+		files[i] = f
+		buf := cl.NewBuffer(cfg.RecordSize)
+		for off := int64(0); off < cfg.FileSize; off += int64(cfg.RecordSize) {
+			if _, err := f.WriteAt(wp, buf, 0, off, cfg.RecordSize, false); err != nil {
+				fail(err)
+				return
+			}
+		}
+	})
+	if firstErr != nil {
+		return OpenLoopResult{}, firstErr
+	}
+
+	cluster.Server.Node.CPU.ResetWindow()
+	start := p.Now()
+	deadline := start + des.Time(cfg.Duration)
+	meanGap := des.Duration(float64(cfg.RecordSize) / cfg.OfferedPerClientBps * 1e9)
+	blocks := cfg.FileSize / int64(cfg.RecordSize)
+
+	res := OpenLoopResult{
+		OfferedMBps: cfg.OfferedPerClientBps * float64(n) / 1e6,
+	}
+	var completedBytes int64
+
+	parallel(p, "ol-gen", n, func(wp *des.Proc, i int) {
+		cl := cluster.Clients[i]
+		f := files[i]
+		// splitmix-style decorrelation so adjacent clients do not share an
+		// arrival stream.
+		rng := des.NewRand(cfg.Seed*1_000_003 + uint64(i)*2654435761 + 1)
+		outstanding := 0
+		genDone := false
+		drained := des.NewEvent(sim)
+		var free []*core.Buffer
+		for {
+			wp.Sleep(rng.ExpDuration(meanGap) + cfg.ThinkTime)
+			if wp.Now() >= deadline {
+				break
+			}
+			res.Issued++
+			if outstanding >= cfg.MaxOutstanding {
+				res.Dropped++
+				continue
+			}
+			outstanding++
+			off := rng.Int63n(blocks) * int64(cfg.RecordSize)
+			var buf *core.Buffer
+			if len(free) > 0 {
+				buf, free = free[len(free)-1], free[:len(free)-1]
+			} else {
+				buf = cl.NewBuffer(cfg.RecordSize)
+			}
+			sim.Spawn(fmt.Sprintf("ol-op-%d", i), func(op *des.Proc) {
+				t0 := op.Now()
+				r, _, err := f.ReadAt(op, buf, 0, off, cfg.RecordSize, false)
+				if err != nil {
+					res.Errors++
+					fail(err)
+				} else {
+					res.Completed++
+					completedBytes += int64(r)
+					res.Latency.Observe((op.Now() - t0).Micros())
+				}
+				free = append(free, buf)
+				outstanding--
+				if genDone && outstanding == 0 {
+					drained.Fire(nil)
+				}
+			})
+		}
+		genDone = true
+		if outstanding > 0 {
+			drained.Wait(wp)
+		}
+	})
+
+	res.Elapsed = p.Now() - start
+	res.AchievedMBps = stats.MBps(completedBytes, res.Elapsed.Seconds())
+	res.P50 = res.Latency.Quantile(0.50)
+	res.P95 = res.Latency.Quantile(0.95)
+	res.P99 = res.Latency.Quantile(0.99)
+	res.ServerCPUPct = cluster.Server.Node.CPU.Utilization() * 100
+	return res, firstErr
+}

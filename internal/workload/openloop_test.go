@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/memreg"
+	"repro/internal/profiles"
+	"repro/internal/rpcrdma"
+)
+
+func openLoopCluster(clients int) *core.Cluster {
+	return core.NewCluster(core.Config{
+		Profile:      profiles.LinuxSDR(),
+		Transport:    core.TransportRDMA,
+		Design:       rpcrdma.ReadWrite,
+		RegMode:      memreg.AllPhysical,
+		Clients:      clients,
+		ServerShards: 2,
+		Seed:         7,
+	})
+}
+
+// TestOpenLoopUnderloadedTracksOffered drives well below capacity: the
+// generator must achieve roughly what it offers, drop nothing, and record a
+// latency sample per completion.
+func TestOpenLoopUnderloadedTracksOffered(t *testing.T) {
+	cluster := openLoopCluster(2)
+	var res OpenLoopResult
+	cluster.Start("drv", func(p *des.Proc) {
+		var err error
+		res, err = RunOpenLoop(p, cluster, OpenLoopConfig{
+			RecordSize:          64 << 10,
+			FileSize:            2 << 20,
+			OfferedPerClientBps: 50e6, // 100 MB/s aggregate, far below the wire
+			Duration:            des.Duration(50 * time.Millisecond),
+			Seed:                7,
+		})
+		if err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	cluster.Run()
+	if res.Issued == 0 || res.Completed == 0 {
+		t.Fatalf("no traffic: %+v", res)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped %d requests while underloaded", res.Dropped)
+	}
+	if res.Completed != res.Issued {
+		t.Fatalf("issued %d but completed %d with no drops", res.Issued, res.Completed)
+	}
+	if res.AchievedMBps < res.OfferedMBps*0.7 || res.AchievedMBps > res.OfferedMBps*1.3 {
+		t.Fatalf("achieved %.1f MB/s vs offered %.1f MB/s: not tracking offered load",
+			res.AchievedMBps, res.OfferedMBps)
+	}
+	if res.Latency.Count() != res.Completed {
+		t.Fatalf("latency samples %d != completions %d", res.Latency.Count(), res.Completed)
+	}
+	if res.P99 < res.P50 || res.P50 <= 0 {
+		t.Fatalf("quantiles inverted: p50=%.1f p99=%.1f", res.P50, res.P99)
+	}
+}
+
+// TestOpenLoopDeterministic pins the arrival process: same seed, same
+// byte-identical result.
+func TestOpenLoopDeterministic(t *testing.T) {
+	run := func() string {
+		cluster := openLoopCluster(3)
+		var res OpenLoopResult
+		cluster.Start("drv", func(p *des.Proc) {
+			res, _ = RunOpenLoop(p, cluster, OpenLoopConfig{
+				RecordSize:          32 << 10,
+				FileSize:            1 << 20,
+				OfferedPerClientBps: 80e6,
+				ThinkTime:           des.Duration(10 * time.Microsecond),
+				Duration:            des.Duration(20 * time.Millisecond),
+				Seed:                42,
+			})
+		})
+		cluster.Run()
+		return fmt.Sprintf("%+v", res)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed open-loop runs differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestOpenLoopOverloadDropsAndSaturates wildly over-offers a tiny cluster:
+// the outstanding cap must shed load instead of queueing without bound, and
+// achieved throughput must land below offered.
+func TestOpenLoopOverloadDropsAndSaturates(t *testing.T) {
+	cluster := openLoopCluster(2)
+	var res OpenLoopResult
+	cluster.Start("drv", func(p *des.Proc) {
+		res, _ = RunOpenLoop(p, cluster, OpenLoopConfig{
+			RecordSize:          64 << 10,
+			FileSize:            2 << 20,
+			OfferedPerClientBps: 3e9, // 6 GB/s aggregate against a ~900 MB/s wire
+			Duration:            des.Duration(20 * time.Millisecond),
+			MaxOutstanding:      8,
+			Seed:                7,
+		})
+	})
+	cluster.Run()
+	if res.Dropped == 0 {
+		t.Fatalf("overload produced no drops: %+v", res)
+	}
+	if res.AchievedMBps >= res.OfferedMBps*0.9 {
+		t.Fatalf("achieved %.1f MB/s should saturate far below offered %.1f MB/s",
+			res.AchievedMBps, res.OfferedMBps)
+	}
+}

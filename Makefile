@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet faults trace-check scale-check race-runner bench bench-record
+.PHONY: build test check vet faults trace-check scale-check chaos-check race-runner bench bench-record
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,20 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet faults trace-check scale-check
+check: vet faults trace-check scale-check chaos-check
 	$(GO) test -race ./...
+
+# chaos-check runs the chaos engine under the race detector: the seeded
+# fault-schedule generator, the crash/restart primitive, the data-integrity
+# oracle, the ddmin schedule shrinker, and a short soak (32 seeds × both
+# designs in the chaos package's soak test). For a longer campaign, widen
+# the soak with CHAOS_SEEDS, e.g.:
+#
+#     CHAOS_SEEDS=256 make chaos-check
+chaos-check:
+	$(GO) test -race -run 'Chaos|CrashRestart|Shrink|Oracle' \
+		./internal/chaos/ ./internal/core/ ./internal/workload/ \
+		./internal/experiments/
 
 # scale-check runs the scale-out server path under the race detector: the
 # SRQ primitive, sharded dispatch, admission control, the open-loop

@@ -26,6 +26,15 @@
 // Chrome trace-event JSON file for chrome://tracing or ui.perfetto.dev,
 // plus a per-layer span summary and transport latency histograms on stdout.
 // -tracelog streams the older free-form protocol log lines to stderr.
+//
+// With -chaos the command runs one seeded chaos schedule (see
+// internal/chaos) instead of IOzone: a fault schedule of QP errors, link
+// flaps, and server crash/restart cycles generated from -chaos-seed is
+// applied to a recovering cluster under the integrity workload, and the
+// oracle's verdict is printed. On a failing run, -chaos-shrink bisects the
+// schedule to a minimal reproducer. -chaos-broken-drc disables the server's
+// duplicate request cache — the deliberately broken server the oracle is
+// designed to catch.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiments/runner"
@@ -69,6 +79,12 @@ func main() {
 	shards := flag.Int("shards", 0, "server dispatch shards with a shared receive queue (0 = per-connection path)")
 	maxConns := flag.Int("max-conns", 0, "server admission-control connection cap (0 = unlimited)")
 	maxOut := flag.Int("max-outstanding", 32, "per-client in-flight cap before drops (-openloop)")
+	chaosRun := flag.Bool("chaos", false, "run one seeded chaos schedule instead of IOzone")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-schedule seed (-chaos)")
+	chaosFaults := flag.Int("chaos-faults", 4, "faults in the generated schedule (-chaos)")
+	chaosMaxCrashes := flag.Int("chaos-max-crashes", 0, "cap on server crashes in the schedule (0 = generator default)")
+	chaosShrink := flag.Bool("chaos-shrink", false, "on a failing chaos run, shrink the schedule to a minimal reproducer")
+	chaosBrokenDRC := flag.Bool("chaos-broken-drc", false, "disable the server DRC (the broken server the oracle catches)")
 	flag.Parse()
 
 	cfg := core.Config{Backend: core.BackendTmpfs}
@@ -118,6 +134,11 @@ func main() {
 	}
 	cfg.ServerShards = *shards
 	cfg.MaxConns = *maxConns
+
+	if *chaosRun {
+		runChaos(cfg, *chaosSeed, *chaosFaults, *chaosMaxCrashes, *chaosShrink, *chaosBrokenDRC)
+		return
+	}
 
 	if *openLoop {
 		cfg.Clients = *clients
@@ -269,6 +290,61 @@ func runOpenLoop(cfg core.Config, record int, fileSize int64, offeredMBps float6
 				sh.SRQPosted, sh.SRQConsumed, sh.SRQLimitEvents, sh.SRQStarved)
 		}
 	}
+}
+
+// runChaos executes one seeded chaos schedule, prints the schedule and the
+// oracle's verdict, and — with shrink on a failure — bisects the schedule to
+// a minimal reproducer. The exit status is the verdict: 0 clean, 1 failed.
+func runChaos(cfg core.Config, seed uint64, faults, maxCrashes int, shrink, brokenDRC bool) {
+	ccfg := chaos.Config{
+		Seed:          seed,
+		Design:        cfg.Design,
+		Shards:        cfg.ServerShards,
+		Faults:        faults,
+		MaxCrashes:    maxCrashes,
+		DisableDRC:    brokenDRC,
+		TraceCapacity: 1 << 20,
+	}
+	res := chaos.Run(ccfg)
+	fmt.Printf("chaos seed=%d design=%v shards=%d faults=%d maxCrashes=%d brokenDRC=%v\n",
+		seed, cfg.Design, cfg.ServerShards, faults, maxCrashes, brokenDRC)
+	fmt.Printf("schedule: %v\n", res.Schedule)
+	fmt.Printf("crashes=%d reconnects=%d replays=%d timeouts=%d retrans=%d drcHits=%d drcMisses=%d\n",
+		res.Crashes, res.Reconnects, res.Replays, res.Timeouts, res.Retransmits, res.DRCHits, res.DRCMisses)
+	fmt.Printf("writes acked=%d failed=%d   oracle reads=%d   renames ok=%d enoent=%d failed=%d\n",
+		res.Load.WritesAcked, res.Load.WritesFailed, res.OracleReads,
+		res.Load.RenamesOK, res.Load.RenameENOENTs, res.Load.RenamesFailed)
+	fmt.Printf("fingerprint: %s\n", res.Fingerprint)
+	if !res.Failed() {
+		fmt.Println("verdict: CLEAN (oracle and trace invariants satisfied)")
+		return
+	}
+	fmt.Println("verdict: FAILED")
+	for _, v := range res.Violations {
+		fmt.Printf("  oracle: %s\n", v)
+	}
+	for _, v := range res.InvariantViolations {
+		fmt.Printf("  invariant: %s\n", v)
+	}
+	if shrink {
+		fmt.Println("shrinking...")
+		minimal := chaos.Shrink(res.Schedule, func(s chaos.Schedule) bool {
+			c := ccfg
+			c.Schedule = &s
+			return len(chaos.Run(c).Violations) > 0
+		})
+		fmt.Printf("minimal reproducer (%d faults): %v\n", len(minimal.Faults), minimal)
+		extra := ""
+		if maxCrashes > 0 {
+			extra += fmt.Sprintf(" -chaos-max-crashes %d", maxCrashes)
+		}
+		if brokenDRC {
+			extra += " -chaos-broken-drc"
+		}
+		fmt.Printf("replay with: nfsrdma-bench -chaos -chaos-seed %d -chaos-faults %d%s -design %s -chaos-shrink\n",
+			seed, faults, extra, cfg.Design)
+	}
+	os.Exit(1)
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestOracleReadLegality pins the legal-content rules for one record slot:
+// committed-and-acked, zero-before-any-ack, and unresolved pending values
+// are legal; anything else is a violation.
+func TestOracleReadLegality(t *testing.T) {
+	o := NewOracle()
+
+	// Never written: only zeroes are legal.
+	o.ReadObserved("f", 0, []byte{0, 0, 0})
+	if o.ViolationCount != 0 {
+		t.Fatalf("zero read of a hole flagged: %v", o.Violations)
+	}
+	o.ReadObserved("f", 0, []byte{0, 7, 0})
+	if o.ViolationCount != 1 {
+		t.Fatalf("nonzero byte in a never-written slot not flagged")
+	}
+
+	// Acked write: its value is legal, zero no longer is.
+	o = NewOracle()
+	o.WriteIssued("f", 1, 0xAA)
+	o.WriteAcked("f", 1, 0xAA)
+	o.ReadObserved("f", 1, []byte{0xAA, 0xAA})
+	if o.ViolationCount != 0 {
+		t.Fatalf("committed value flagged: %v", o.Violations)
+	}
+	o.ReadObserved("f", 1, []byte{0xAA, 0x00})
+	if o.ViolationCount != 1 {
+		t.Fatal("zero after an acked write not flagged")
+	}
+
+	// Terminally failed write: the unresolved value stays legal forever,
+	// alongside the last committed value.
+	o = NewOracle()
+	o.WriteIssued("f", 2, 0x11)
+	o.WriteAcked("f", 2, 0x11)
+	o.WriteIssued("f", 2, 0x22)
+	o.WriteFailed("f", 2, 0x22)
+	o.ReadObserved("f", 2, []byte{0x11})
+	o.ReadObserved("f", 2, []byte{0x22})
+	if o.ViolationCount != 0 {
+		t.Fatalf("committed or pending value flagged: %v", o.Violations)
+	}
+	o.ReadObserved("f", 2, []byte{0x33})
+	if o.ViolationCount != 1 {
+		t.Fatal("value never issued not flagged")
+	}
+}
+
+// TestOracleRenameENOENTWindows pins the non-idempotent-replay rule: an
+// ENOENT is legal exactly when the call window overlaps a crash window.
+func TestOracleRenameENOENTWindows(t *testing.T) {
+	o := NewOracle()
+	o.ServerCrashed(des.Time(1000), des.Time(2000))
+
+	if !o.RenameENOENT(des.Time(1500), des.Time(1600)) {
+		t.Error("ENOENT inside the crash window judged illegal")
+	}
+	if !o.RenameENOENT(des.Time(500), des.Time(1000)) {
+		t.Error("ENOENT touching the window start judged illegal")
+	}
+	if !o.RenameENOENT(des.Time(900), des.Time(2500)) {
+		t.Error("ENOENT spanning the whole window judged illegal")
+	}
+	if o.ViolationCount != 0 {
+		t.Fatalf("legal ENOENTs recorded violations: %v", o.Violations)
+	}
+	if o.RenameENOENT(des.Time(2001), des.Time(2100)) {
+		t.Error("ENOENT after the window judged legal")
+	}
+	if o.RenameENOENT(des.Time(100), des.Time(999)) {
+		t.Error("ENOENT before the window judged legal")
+	}
+	if o.ViolationCount != 2 {
+		t.Fatalf("ViolationCount = %d, want 2", o.ViolationCount)
+	}
+	if o.Crashes() != 1 {
+		t.Fatalf("Crashes() = %d, want 1", o.Crashes())
+	}
+}

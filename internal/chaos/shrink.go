@@ -1,0 +1,48 @@
+package chaos
+
+// Shrink reduces a failing schedule to a (1-)minimal reproducer by delta
+// debugging (ddmin): it repeatedly tries dropping chunks of the fault list,
+// keeping any reduced schedule for which fails still reports true, and
+// refines the chunk granularity when no drop reproduces. fails must be
+// deterministic — with the seeded DES, re-running the same schedule is.
+// The returned schedule keeps the original seed for provenance.
+//
+// The input is returned unchanged if fails(s) is false (nothing to shrink).
+func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
+	if !fails(s) {
+		return s
+	}
+	cur := s
+	n := 2 // granularity: the list is split into n chunks
+	for len(cur.Faults) >= 2 {
+		if n > len(cur.Faults) {
+			n = len(cur.Faults)
+		}
+		chunk := (len(cur.Faults) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur.Faults); start += chunk {
+			end := start + chunk
+			if end > len(cur.Faults) {
+				end = len(cur.Faults)
+			}
+			cand := Schedule{Seed: cur.Seed}
+			cand.Faults = append(cand.Faults, cur.Faults[:start]...)
+			cand.Faults = append(cand.Faults, cur.Faults[end:]...)
+			if fails(cand) {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if chunk == 1 {
+				break // removing any single fault stops the failure: minimal
+			}
+			n *= 2
+		}
+	}
+	return cur
+}

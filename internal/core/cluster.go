@@ -146,7 +146,16 @@ type Cluster struct {
 	Server  *Server
 	Clients []*Client
 
+	// Crashes counts server crash/restart cycles driven through CrashServer
+	// (see crash.go).
+	Crashes int64
+
 	ready *des.Event
+
+	// serverRDMACfg is the resolved server transport configuration, kept so
+	// RestartServer can rebuild an identical transport after a crash.
+	serverRDMACfg rpcrdma.Config
+	serverDown    bool
 }
 
 // NewCluster builds the hosts and schedules the wiring (managers and
@@ -222,10 +231,15 @@ func NewCluster(cfg Config) *Cluster {
 			sCfg.Design = cfg.Design
 			sCfg.Shards = cfg.ServerShards
 			sCfg.MaxConns = cfg.MaxConns
+			c.serverRDMACfg = sCfg
 			srv.RDMA = rpcrdma.NewServerTransport(p, srvNode, srv.Mgr, dispatcher, sCfg)
 			for _, cl := range c.Clients {
 				cl.Mgr = memreg.NewManager(p, cl.Node, memreg.Config{Mode: cfg.RegMode, CacheMaxBytes: cfg.CacheMaxBytes})
-				cl.RDMA = connectRDMA(p, cl)
+				t, err := connectRDMA(p, cl)
+				if err != nil {
+					panic(err.Error())
+				}
+				cl.RDMA = t
 				cl.Transport = cl.RDMA
 			}
 		case TransportIPoIB, TransportGigE:
@@ -265,21 +279,23 @@ func newClientTransport(p *des.Proc, cq *ibsim.QP, cl *Client) *rpcrdma.ClientTr
 
 // connectRDMA dials the server for one client, honouring admission control:
 // a rejected connection is closed and redialled with exponential backoff
-// until the server has room. Used by both initial wiring and Reconnect. A
-// cluster whose MaxConns permanently starves a client is a configuration
-// error, so the retry budget is finite.
-func connectRDMA(p *des.Proc, cl *Client) *rpcrdma.ClientTransport {
+// until the server has room. Used by both initial wiring and Reconnect. The
+// retry budget is finite; a nil transport and an error mean every attempt
+// was rejected — because MaxConns starves this client, or because the
+// server is down (crashed) for longer than the whole dial window. Initial
+// wiring treats that as fatal; the recovery layer keeps redialling.
+func connectRDMA(p *des.Proc, cl *Client) (*rpcrdma.ClientTransport, error) {
 	cluster := cl.cluster
 	backoff := admissionBackoffBase
 	for attempt := 0; ; attempt++ {
 		cq, sq := cluster.Fabric.Connect(cl.Node, cluster.Server.Node, ibsim.QPConfig{})
 		if cluster.Server.RDMA.TryServe(sq) {
-			return newClientTransport(p, cq, cl)
+			return newClientTransport(p, cq, cl), nil
 		}
 		cq.Close()
 		if attempt >= admissionRetryLimit {
-			panic(fmt.Sprintf("core: %s rejected by admission control %d times (MaxConns=%d too small for %d clients?)",
-				cl.Node.Name(), attempt+1, cluster.Cfg.MaxConns, cluster.Cfg.Clients))
+			return nil, fmt.Errorf("core: %s rejected by server %d times (MaxConns=%d too small for %d clients, or server down?)",
+				cl.Node.Name(), attempt+1, cluster.Cfg.MaxConns, cluster.Cfg.Clients)
 		}
 		p.Sleep(backoff)
 		backoff *= 2

@@ -29,7 +29,15 @@ func (c *Client) Reconnect(p *des.Proc) error {
 	c.lostTimeouts += c.RDMA.Timeouts
 	c.lostRetransmits += c.RDMA.Retransmits
 	c.RDMA.Close()
-	c.RDMA = connectRDMA(p, c)
+	nt, err := connectRDMA(p, c)
+	if err != nil {
+		// Dial window exhausted — e.g. the server is crashed for longer than
+		// the whole redial budget. The old transport stays installed (closed,
+		// so Broken() keeps reporting true) and the caller decides whether to
+		// retry the reconnect later.
+		return err
+	}
+	c.RDMA = nt
 	if c.recovery == nil {
 		// No recovery wrapper: callers talk to the raw transport, so swap
 		// it in directly. With recovery enabled the wrapper stays installed

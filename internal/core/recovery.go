@@ -20,6 +20,11 @@ type RetryPolicy struct {
 	// per cycle (exponential backoff, mirroring the transport's per-call
 	// retransmission policy one layer down).
 	Backoff des.Duration
+
+	// MaxBackoff caps the doubling. With large MaxReconnects budgets —
+	// chaos soaks ride out whole server outages — an uncapped exponential
+	// would sleep for simulated hours (and eventually overflow).
+	MaxBackoff des.Duration
 }
 
 func (r RetryPolicy) withDefaults() RetryPolicy {
@@ -28,6 +33,9 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if r.Backoff <= 0 {
 		r.Backoff = 100 * time.Microsecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 100 * time.Millisecond
 	}
 	return r
 }
@@ -76,8 +84,15 @@ func (r *recoveringTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncr
 		}
 		p.Sleep(backoff)
 		backoff *= 2
+		if backoff > r.policy.MaxBackoff {
+			backoff = r.policy.MaxBackoff
+		}
 		if rerr := r.ensureConnected(p); rerr != nil {
-			return nil, rerr
+			// Redial failed (server still down): burn this cycle and keep
+			// backing off. The next Roundtrip on the closed transport fails
+			// fast with ErrClosed, so the loop costs only the backoff sleeps
+			// until either the server returns or the budget runs out.
+			continue
 		}
 		r.replays++
 		if tr := r.cl.cluster.Sim.Tracer(); tr != nil {

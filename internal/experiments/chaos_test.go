@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosSweep is the chaos soak acceptance check at test scale: every
+// (design, shards) cell runs its seeds clean — zero oracle violations, zero
+// trace invariant failures — while actually doing recovery work.
+func TestChaosSweep(t *testing.T) {
+	r := RunChaos(testScale * 2) // 4 seeds per cell; the full soak lives in internal/chaos
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d, want 4 (2 designs x 2 shard counts)", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Failures != 0 {
+			t.Errorf("design=%v shards=%d: %d failing seeds %v",
+				p.Design, p.Shards, p.Failures, p.FailedSeeds)
+		}
+		if p.Crashes == 0 || p.Reconnects == 0 {
+			t.Errorf("design=%v shards=%d: crashes=%d reconnects=%d; schedules did not land",
+				p.Design, p.Shards, p.Crashes, p.Reconnects)
+		}
+		if p.WritesAcked == 0 || p.OracleReads == 0 {
+			t.Errorf("design=%v shards=%d: writes=%d reads=%d; workload did not run",
+				p.Design, p.Shards, p.WritesAcked, p.OracleReads)
+		}
+	}
+}
+
+// TestChaosSweepSequentialAndParallelIdentical asserts the chaos sweep is
+// deterministic across worker counts, like every other sweep in the package.
+func TestChaosSweepSequentialAndParallelIdentical(t *testing.T) {
+	digest := func(r *Chaos) string {
+		return fmt.Sprintf("%+v\n%s", r.Points, r.Table)
+	}
+
+	SetParallelism(1)
+	seq := RunChaos(testScale * 2)
+	SetParallelism(8)
+	par := RunChaos(testScale * 2)
+	SetParallelism(0)
+
+	if ds, dp := digest(seq), digest(par); ds != dp {
+		t.Fatalf("sequential and parallel chaos sweeps diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", ds, dp)
+	}
+}

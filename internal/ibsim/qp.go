@@ -107,9 +107,10 @@ type CQE struct {
 // completion already queued is a poll and costs nothing — this is how the
 // Read-Write design's interrupt elimination becomes visible in CPU numbers.
 type CQ struct {
-	node  *Node
-	q     *des.Queue
-	track string
+	node   *Node
+	q      *des.Queue
+	track  string
+	closed bool
 }
 
 // NewCQ creates a completion queue on the node.
@@ -117,7 +118,24 @@ func NewCQ(n *Node, name string) *CQ {
 	return &CQ{node: n, q: des.NewQueue(n.fab.Sim, name), track: name}
 }
 
+// Close destroys the completion queue: blocked waiters drain what is already
+// queued and then see nil, and completions posted after the close are dropped
+// on the floor — exactly what destroying a CQ does to flush CQEs of dying
+// QPs on real hardware. Used by the server crash path, where in-flight work
+// keeps flushing at later virtual instants than the crash itself.
+func (cq *CQ) Close() {
+	if cq.closed {
+		return
+	}
+	cq.closed = true
+	cq.q.Close()
+}
+
 func (cq *CQ) post(c *CQE) {
+	if cq.closed {
+		cq.node.fab.Counters.Inc("cqe.dropped")
+		return
+	}
 	fab := cq.node.fab
 	if tr := fab.Sim.Tracer(); tr != nil {
 		fab.cqeSeq++

@@ -157,6 +157,80 @@ func TestSRQSharedAcrossQPs(t *testing.T) {
 	sim.Run()
 }
 
+// TestSRQQPErrorMidRefillNoStrandedWQEs is the fault-injection balance
+// check: drain the pool to RNR, start a refill, and kill one of the attached
+// QPs in the middle of it. The dead QP must not strand pooled WQEs — the
+// pool belongs to the SRQ, not any QP — so the accounting identity
+// Posted == Consumed + Avail() holds throughout, and a surviving QP drains
+// exactly what the refill posted.
+func TestSRQQPErrorMidRefillNoStrandedWQEs(t *testing.T) {
+	sim := des.New()
+	fab := NewFabric(sim, true)
+	srv := fab.AddNode(NodeConfig{Name: "srv"})
+	cl1 := fab.AddNode(NodeConfig{Name: "cl1"})
+	cl2 := fab.AddNode(NodeConfig{Name: "cl2"})
+	srq := NewSRQ(srv, "srv/srq", SRQConfig{Depth: 8, Limit: 2})
+	scq := NewCQ(srv, "srv/rcq")
+	c1, s1 := fab.Connect(cl1, srv, QPConfig{RNRRetryDelay: 50 * time.Microsecond, RNRRetryLimit: 7})
+	c2, s2 := fab.Connect(cl2, srv, QPConfig{RNRRetryDelay: 50 * time.Microsecond, RNRRetryLimit: 7})
+	for _, q := range []*QP{s1, s2} {
+		q.AttachSRQ(srq)
+		q.SetRecvCQ(scq)
+	}
+
+	balance := func(where string) {
+		if srq.Posted != srq.Consumed+int64(srq.Avail()) {
+			t.Fatalf("%s: posted %d != consumed %d + avail %d (stranded WQEs)",
+				where, srq.Posted, srq.Consumed, srq.Avail())
+		}
+	}
+
+	// Two pooled WQEs; the first two sends drain them, the third hits RNR.
+	srq.PostRecv(0, 1024)
+	srq.PostRecv(1, 1024)
+	sim.Spawn("senders", func(p *des.Proc) {
+		for i := 0; i < 2; i++ {
+			if cqe := c1.PostAndWait(p, &SendWQE{WRID: uint64(i), Op: OpSend, Payload: []byte("x")}); cqe.Err != nil {
+				t.Errorf("warmup send %d: %v", i, cqe.Err)
+			}
+		}
+		balance("after drain")
+		// Pool empty: this send spins on RNR until the refill below.
+		if cqe := c1.PostAndWait(p, &SendWQE{WRID: 9, Op: OpSend, Payload: []byte("rnr")}); cqe.Err == nil {
+			t.Error("send on the QP killed mid-refill completed cleanly")
+		}
+	})
+	sim.Spawn("refill", func(p *des.Proc) {
+		p.Sleep(120 * time.Microsecond)
+		if srq.Starved == 0 {
+			t.Error("pool never starved before the refill")
+		}
+		srq.PostRecv(10, 1024)
+		// Mid-refill: the RNR-spinning QP dies between the two posts.
+		s1.InjectError(nil)
+		srq.PostRecv(11, 1024)
+		balance("mid-refill after QP error")
+	})
+	sim.Spawn("survivor", func(p *des.Proc) {
+		p.Sleep(400 * time.Microsecond)
+		// The surviving QP consumes everything the refill posted: nothing is
+		// stranded on the dead QP.
+		for i := 0; i < 2; i++ {
+			if cqe := c2.PostAndWait(p, &SendWQE{WRID: uint64(20 + i), Op: OpSend, Payload: []byte("y")}); cqe.Err != nil {
+				t.Errorf("survivor send %d: %v", i, cqe.Err)
+			}
+		}
+	})
+	sim.Run()
+	balance("end of run")
+	if srq.Consumed != 4 {
+		t.Errorf("Consumed = %d, want 4 (2 warmup + 2 refill)", srq.Consumed)
+	}
+	if srq.Avail() != 0 {
+		t.Errorf("Avail = %d, want 0", srq.Avail())
+	}
+}
+
 // TestSRQEmptyPoolRNRThenRecover exhausts the pool, observes the RNR retry
 // path hold the send, then reposts and sees it delivered — SRQ starvation
 // behaves exactly like an empty private receive queue.

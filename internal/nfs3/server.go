@@ -53,6 +53,19 @@ func NewServer(fs vfs.FS, cfg ServerConfig) *Server {
 	return &Server{fs: fs, cfg: cfg, writeVerf: 0xc0ffee ^ cfg.FSID}
 }
 
+// Restart bumps the write verifier to a fresh epoch-derived value, as a
+// rebooted NFSv3 server must: any client comparing WRITE/COMMIT verifiers
+// across the restart sees the change and knows its uncommitted unstable
+// writes may have been lost. File handles (FSID+FileID) and the exported
+// tree survive — NFSv3 servers are otherwise stateless.
+func (s *Server) Restart(epoch uint64) {
+	s.writeVerf = (0xc0ffee ^ s.cfg.FSID) + epoch*0x9e3779b97f4a7c15
+}
+
+// WriteVerf returns the current write verifier (tests compare it across
+// restarts).
+func (s *Server) WriteVerf() uint64 { return s.writeVerf }
+
 // Name implements oncrpc.Service.
 func (s *Server) Name() string { return "nfs3" }
 

@@ -113,6 +113,18 @@ func (d *Dispatcher) DRCStats() (hits, misses int64) {
 	return d.drc.Hits, d.drc.Misses
 }
 
+// DropDRC wipes the replay windows of every client — the DRC is volatile
+// server memory and dies with a crash. Executing placeholders go too: the
+// handlers running them die with the server, so nothing would ever commit
+// them, and a stale placeholder would silently drop the client's replay
+// after restart. Cumulative hit/miss counters survive (they are
+// measurement, not server state). No-op without a DRC.
+func (d *Dispatcher) DropDRC() {
+	if d.drc != nil {
+		d.drc.clients = make(map[string]*drcClient)
+	}
+}
+
 // DRCInProgressDrops returns how many retransmissions were dropped because
 // their original call was still executing.
 func (d *Dispatcher) DRCInProgressDrops() int64 {

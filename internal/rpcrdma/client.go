@@ -382,6 +382,11 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 		t.armTimer(pend.done, t.attemptTimeout(attempt))
 		t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(req.XID), Op: ibsim.OpSend, Payload: wire})
 	}
+	if res.err != nil && errors.Is(res.err, ErrTimeout) && attempt >= t.cfg.RetryLimit {
+		// Every retransmission timed out: surface the typed terminal error
+		// rather than a bare timeout, which would read as "retry later".
+		res.err = fmt.Errorf("%w: %w (%d attempts)", ErrRetriesExhausted, res.err, attempt+1)
+	}
 	delete(t.pending, req.XID)
 	pend.aborted = true
 	p.Logf("rpcrdma done xid=%#x bulk=%dB err=%v", req.XID, res.bulkLen, res.err)

@@ -51,6 +51,37 @@ func TestCallTimeoutExhaustsRetries(t *testing.T) {
 	sim.Run()
 }
 
+// Exhausting the retransmission budget must surface the typed
+// ErrRetriesExhausted sentinel — and keep matching ErrTimeout, so existing
+// isTransportError-style checks still classify it as a transport failure.
+func TestRetriesExhaustedTyped(t *testing.T) {
+	sim := des.New()
+	fab := ibsim.NewFabric(sim, true)
+	nodeCfg := ibsim.NodeConfig{Cores: 2, PortBandwidth: 900e6, PortLatency: 3 * time.Microsecond}
+	cCfg, sCfg := nodeCfg, nodeCfg
+	cCfg.Name, sCfg.Name = "client", "server"
+	cn := fab.AddNode(cCfg)
+	sn := fab.AddNode(sCfg)
+	sim.Spawn("setup", func(p *des.Proc) {
+		cq, sq := fab.Connect(cn, sn, ibsim.QPConfig{})
+		for i := 0; i < 16; i++ {
+			sq.PostRecv(uint64(i), 4096)
+		}
+		mgr := memreg.NewManager(p, cn, memreg.Config{Mode: memreg.Regular})
+		ct := NewClientTransport(p, cq, mgr, Config{
+			CallTimeout: time.Millisecond, RetryLimit: 2,
+		})
+		_, err := ct.Roundtrip(p, &oncrpc.Request{XID: 9, Header: []byte("call")})
+		if !errors.Is(err, ErrRetriesExhausted) {
+			t.Errorf("err = %v, want errors.Is(err, ErrRetriesExhausted)", err)
+		}
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, must still match ErrTimeout", err)
+		}
+	})
+	sim.Run()
+}
+
 // A reply that arrives after the first timer expiry (but before retries are
 // exhausted) still completes the call: the retransmission carries the same
 // XID, so whichever server response lands first finishes the attempt in

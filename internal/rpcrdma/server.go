@@ -162,6 +162,30 @@ func (s *ServerTransport) Close() {
 // LiveConns returns the number of accepted, not-yet-dead connections.
 func (s *ServerTransport) LiveConns() int { return s.liveConns }
 
+// Shutdown models the transport side of a server crash at the current
+// virtual instant: every live connection's QP is terminated (peers observe
+// the death on their own queue pairs and reconnect through recovery), every
+// parked reply is released via the usual connection-death path, the work
+// queues close, and the shard CQs are destroyed so flush completions still
+// in flight when the crash hit are dropped rather than delivered to a dead
+// server. The transport object is unusable afterwards; a restart builds a
+// fresh one.
+func (s *ServerTransport) Shutdown(p *des.Proc) {
+	if s.closed {
+		return
+	}
+	for _, conn := range s.conns {
+		if !conn.dead && conn.qp.Err() == nil {
+			conn.qp.Terminate(fmt.Errorf("%w: server crashed", ErrClosed))
+		}
+		s.connDead(p, conn)
+	}
+	s.Close()
+	for _, sh := range s.shards {
+		sh.cq.Close()
+	}
+}
+
 // Serve attaches an accepted connection, ignoring admission: callers that
 // predate admission control (and tests that must not race it) keep the old
 // contract. With MaxConns unset the two entry points are identical.
@@ -174,6 +198,14 @@ func (s *ServerTransport) Serve(qp *ibsim.QP) { s.TryServe(qp) }
 // (sharded mode) or get the legacy private receive ring plus a dedicated
 // receive loop.
 func (s *ServerTransport) TryServe(qp *ibsim.QP) bool {
+	if s.closed {
+		// Crashed (or closing) server: refuse like a host with no listener.
+		// Dialers observe the termination and back off through the same
+		// redial machinery admission rejections use.
+		s.ConnsRejected++
+		qp.Terminate(fmt.Errorf("%w: server not serving", ErrClosed))
+		return false
+	}
 	if s.cfg.MaxConns > 0 && s.liveConns >= s.cfg.MaxConns {
 		s.ConnsRejected++
 		qp.Terminate(fmt.Errorf("%w: %d live connections", ErrAdmission, s.liveConns))
@@ -199,6 +231,12 @@ func (s *ServerTransport) TryServe(qp *ibsim.QP) bool {
 			cqe := qp.RecvCQ.Wait(p)
 			if cqe == nil || cqe.Err != nil {
 				s.connDead(p, conn)
+				return
+			}
+			if conn.dead {
+				// A crash (Shutdown) marked the connection dead while data
+				// completions were still queued ahead of the error CQE; the
+				// work queue is closed, so drop them and exit.
 				return
 			}
 			qp.PostRecv(cqe.WRID, s.cfg.recvBufSize())

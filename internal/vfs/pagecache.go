@@ -237,6 +237,18 @@ func (c *PageCache) Commit(p *des.Proc, id FileID, off int64, count int) {
 	}
 }
 
+// Crash discards the entire cache without writeback: resident pages, dirty
+// state, and readahead tracking all die with the server's RAM. Dirty pages
+// that had not reached the disk are simply gone — which is exactly why NFSv3
+// clients must not trust unstable WRITEs until COMMIT (or a FileSync ack)
+// and must re-send them when the write verifier changes across a restart.
+func (c *PageCache) Crash() {
+	c.pages = make(map[pageKey]*page)
+	c.lru.Init()
+	c.dirty = 0
+	c.nextSeq = make(map[FileID]int64)
+}
+
 // Drop discards all pages of file id (file removal).
 func (c *PageCache) Drop(id FileID) {
 	for e := c.lru.Front(); e != nil; {

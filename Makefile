@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet faults trace-check scale-check chaos-check race-runner bench bench-record
+.PHONY: build test check vet faults trace-check scale-check chaos-check mux-check race-runner bench bench-record
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet faults trace-check scale-check chaos-check
+check: vet faults trace-check scale-check chaos-check mux-check
 	$(GO) test -race ./...
 
 # chaos-check runs the chaos engine under the race detector: the seeded
@@ -26,6 +26,21 @@ chaos-check:
 	$(GO) test -race -run 'Chaos|CrashRestart|Shrink|Oracle' \
 		./internal/chaos/ ./internal/core/ ./internal/workload/ \
 		./internal/experiments/
+
+# mux-check runs the shared-QP connection-multiplexing path under the race
+# detector: the ibsim mux QP primitive (attach/detach, stream demux, slot
+# reuse, error scoping), the rpcrdma endpoint layer and its credit
+# sub-accounting, the core cluster integration (integrity, reconnect,
+# churn, crash/restart), the completion-to-CPU affinity accounting, and the
+# mux capacity sweep. Race builds cap the sweep population at 2048 (the
+# detector costs ~10x per simulated instruction), so a second,
+# uninstrumented pass runs the full 10240-client determinism and
+# memory-scaling assertions.
+mux-check:
+	$(GO) test -race -run 'Mux|Affinity|Migrat|Endpoint' \
+		./internal/ibsim/ ./internal/rpcrdma/ ./internal/core/ \
+		./internal/chaos/ ./internal/experiments/
+	$(GO) test -run 'MuxCapacity' ./internal/experiments/
 
 # scale-check runs the scale-out server path under the race detector: the
 # SRQ primitive, sharded dispatch, admission control, the open-loop

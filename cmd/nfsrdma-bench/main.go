@@ -19,7 +19,15 @@
 // milliseconds, reporting achieved throughput, drops, and latency
 // quantiles. -shards enables the server's sharded SRQ dispatch path and
 // -max-conns its admission control; per-shard SRQ counters are printed
-// when sharding is on.
+// when sharding is on. -mux multiplexes every client onto one shared QP
+// per shard (DCT-style endpoints, O(shards) server connection state) and
+// -affinity pins shard reply processing to the completion CPU; the
+// open-loop report then includes the server's receive-state bytes and the
+// migration/local-wake split.
+//
+// -cpuprofile and -memprofile write Go pprof profiles of the simulator
+// process itself (not the simulated machines) on clean exit — for finding
+// host-side hot spots in large runs.
 //
 // -trace FILE records the run's structured virtual-time events in every
 // layer (DES kernel, fabric, RPC/RDMA, ONC RPC, NFS) and writes them as a
@@ -41,6 +49,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -77,6 +87,8 @@ func main() {
 	offered := flag.Float64("offered", 600, "aggregate offered load in MB/s (-openloop)")
 	durationMS := flag.Int("duration", 200, "measured window in simulated milliseconds (-openloop)")
 	shards := flag.Int("shards", 0, "server dispatch shards with a shared receive queue (0 = per-connection path)")
+	mux := flag.Bool("mux", false, "multiplex clients onto one shared QP per shard (implies -shards, default 8)")
+	affinity := flag.Bool("affinity", false, "pin shard reply processing to the completion CPU (sharded dispatch)")
 	maxConns := flag.Int("max-conns", 0, "server admission-control connection cap (0 = unlimited)")
 	maxOut := flag.Int("max-outstanding", 32, "per-client in-flight cap before drops (-openloop)")
 	chaosRun := flag.Bool("chaos", false, "run one seeded chaos schedule instead of IOzone")
@@ -85,7 +97,33 @@ func main() {
 	chaosMaxCrashes := flag.Int("chaos-max-crashes", 0, "cap on server crashes in the schedule (0 = generator default)")
 	chaosShrink := flag.Bool("chaos-shrink", false, "on a failing chaos run, shrink the schedule to a minimal reproducer")
 	chaosBrokenDRC := flag.Bool("chaos-broken-drc", false, "disable the server DRC (the broken server the oracle catches)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the simulator process to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal("memprofile: %v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("memprofile: %v", err)
+			}
+			f.Close()
+		}()
+	}
 
 	cfg := core.Config{Backend: core.BackendTmpfs}
 	switch *profileName {
@@ -134,6 +172,11 @@ func main() {
 	}
 	cfg.ServerShards = *shards
 	cfg.MaxConns = *maxConns
+	cfg.Multiplex = *mux
+	cfg.Affinity = *affinity
+	if cfg.Multiplex && cfg.ServerShards == 0 {
+		cfg.ServerShards = 8
+	}
 
 	if *chaosRun {
 		runChaos(cfg, *chaosSeed, *chaosFaults, *chaosMaxCrashes, *chaosShrink, *chaosBrokenDRC)
@@ -275,19 +318,26 @@ func runOpenLoop(cfg core.Config, record int, fileSize int64, offeredMBps float6
 	if err != nil {
 		fatal("open-loop run failed: %v", err)
 	}
-	fmt.Printf("profile=%s transport=%v design=%v reg=%v clients=%d record=%d shards=%d\n",
-		cfg.Profile.Name, cfg.Transport, cfg.Design, cfg.RegMode, cfg.Clients, record, cfg.ServerShards)
+	fmt.Printf("profile=%s transport=%v design=%v reg=%v clients=%d record=%d shards=%d mux=%v affinity=%v\n",
+		cfg.Profile.Name, cfg.Transport, cfg.Design, cfg.RegMode, cfg.Clients, record,
+		cfg.ServerShards, cfg.Multiplex, cfg.Affinity)
 	fmt.Printf("offered %8.1f MB/s   achieved %8.1f MB/s   serverCPU %5.1f%%\n",
 		res.OfferedMBps, res.AchievedMBps, res.ServerCPUPct)
 	fmt.Printf("issued=%d completed=%d dropped=%d errors=%d\n",
 		res.Issued, res.Completed, res.Dropped, res.Errors)
 	fmt.Printf("latency µs: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
 		res.P50, res.P95, res.P99, res.Latency.Max())
+	fmt.Printf("server recv state: %d bytes   completion handoffs: %d migrated, %d local\n",
+		res.ServerRecvStateBytes, res.ServerMigrations, res.ServerLocalWakes)
 	if rdma := cluster.Server.RDMA; rdma != nil {
 		for _, sh := range rdma.ShardStats() {
-			fmt.Printf("shard %d: conns=%d requests=%d maxQ=%d srqPosted=%d srqConsumed=%d limitEvents=%d starved=%d\n",
+			extra := ""
+			if cfg.Multiplex {
+				extra = fmt.Sprintf(" endpoints=%d muxSlots=%d", sh.Endpoints, sh.MuxSlots)
+			}
+			fmt.Printf("shard %d: conns=%d requests=%d maxQ=%d srqPosted=%d srqConsumed=%d limitEvents=%d starved=%d%s\n",
 				sh.Shard, sh.Conns, sh.Requests, sh.MaxQueueDepth,
-				sh.SRQPosted, sh.SRQConsumed, sh.SRQLimitEvents, sh.SRQStarved)
+				sh.SRQPosted, sh.SRQConsumed, sh.SRQLimitEvents, sh.SRQStarved, extra)
 		}
 	}
 }
@@ -300,6 +350,8 @@ func runChaos(cfg core.Config, seed uint64, faults, maxCrashes int, shrink, brok
 		Seed:          seed,
 		Design:        cfg.Design,
 		Shards:        cfg.ServerShards,
+		Multiplex:     cfg.Multiplex,
+		Affinity:      cfg.Affinity,
 		Faults:        faults,
 		MaxCrashes:    maxCrashes,
 		DisableDRC:    brokenDRC,

@@ -63,7 +63,7 @@ type figureBench struct {
 func main() {
 	scale := flag.Int("scale", 4, "workload scale divisor (1 = paper sizes)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
-	only := flag.String("only", "", "comma-separated subset: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations,recovery,capacity,chaos")
+	only := flag.String("only", "", "comma-separated subset: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations,recovery,capacity,muxcap,chaos")
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per core, 1 = sequential)")
 	benchOut := flag.String("bench-out", "", "write a JSON wall-clock benchmark record to this file")
 	benchNote := flag.String("bench-note", "", "free-form annotation stored in the benchmark record")
@@ -85,7 +85,7 @@ func main() {
 	if *traceOut != "" && len(want) > 0 {
 		want["fig4"] = true
 	}
-	known := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations", "recovery", "capacity", "chaos"}
+	known := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations", "recovery", "capacity", "muxcap", "chaos"}
 	for k := range want {
 		found := false
 		for _, ok := range known {
@@ -205,6 +205,13 @@ func main() {
 			r := experiments.RunCapacity(s)
 			emit(r.Curves)
 			emit(r.Knee)
+		})
+	}
+	if sel("muxcap") {
+		timed("muxcap", func() {
+			r := experiments.RunMuxCapacity(s)
+			emit(r.Curves)
+			emit(r.Memory)
 		})
 	}
 	if want["ablations"] {

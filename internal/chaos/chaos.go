@@ -20,6 +20,16 @@ type Config struct {
 	Design rpcrdma.Design
 	Shards int // server dispatch shards (0 = per-connection receive path)
 
+	// Multiplex runs the server's shared-QP connection mode: clients attach
+	// DCT-style endpoints demultiplexed by stream id. Faults then exercise
+	// the endpoint-scoped error paths — a killed client must not take its
+	// shared QP's siblings with it, and crash/restart must rebuild the
+	// shared QPs. Implies sharded dispatch.
+	Multiplex bool
+
+	// Affinity pins shard reply processing to the completion CPU.
+	Affinity bool
+
 	Clients int
 	Load    workload.ChaosLoadConfig
 
@@ -131,6 +141,8 @@ func Run(cfg Config) *Result {
 		CopyData:   true, // integrity checking needs real bytes
 		DRCEntries: drcEntries,
 		ServerShards: cfg.Shards,
+		Multiplex:  cfg.Multiplex,
+		Affinity:   cfg.Affinity,
 		Seed:       cfg.Seed,
 	})
 	var tr *trace.Tracer

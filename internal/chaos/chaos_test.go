@@ -94,6 +94,59 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosSoakMux: the same seeded fault schedules against the shared-QP
+// (multiplexed) server. Faults now land on endpoints of a shared QP, so the
+// runs soak the endpoint-scoped error paths — a killed client's siblings
+// must keep running, redials must reuse freed slots, and crash/restart must
+// tear down and re-arm the shared QPs. Alternate seeds pin reply processing
+// to the completion CPU so both affinity paths soak too.
+func TestChaosSoakMux(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak; skipped in -short")
+	}
+	seeds := chaosSoakSeeds(t)
+	type point struct {
+		seed   uint64
+		design rpcrdma.Design
+	}
+	var grid []point
+	for _, d := range []rpcrdma.Design{rpcrdma.ReadWrite, rpcrdma.ReadRead} {
+		for s := 1; s <= seeds; s++ {
+			grid = append(grid, point{seed: uint64(s), design: d})
+		}
+	}
+	results := runner.Map(len(grid), func(i int) *Result {
+		pt := grid[i]
+		return Run(Config{
+			Seed: pt.seed, Design: pt.design, Shards: 2,
+			Multiplex: true, Affinity: pt.seed%2 == 0,
+			Faults: 4, TraceCapacity: 1 << 20,
+		})
+	})
+	failed := 0
+	for i, res := range results {
+		if res.Failed() {
+			failed++
+			t.Errorf("seed=%d design=%v: %v %v\n  schedule: %v",
+				grid[i].seed, grid[i].design, res.Violations, res.InvariantViolations, res.Schedule)
+		}
+	}
+	if failed == 0 {
+		t.Logf("%d mux runs clean (%d seeds × 2 designs)", len(results), seeds)
+	}
+}
+
+// TestChaosMuxDeterministic: same seed, same multiplexed config =>
+// byte-identical run, fingerprint included.
+func TestChaosMuxDeterministic(t *testing.T) {
+	cfg := Config{Seed: 13, Design: rpcrdma.ReadWrite, Shards: 2, Multiplex: true, Affinity: true, Faults: 5}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same-seed mux fingerprints differ:\n  %s\n  %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
 // TestChaosBrokenDRCCaughtAndShrinks: with the DRC disabled (the
 // deliberately-broken server), some seed must produce an illegal RENAME
 // re-execution that the oracle flags, and the shrinker must reduce that

@@ -104,6 +104,26 @@ type Config struct {
 	// backoff until a slot frees. Zero means unlimited.
 	MaxConns int
 
+	// Multiplex shares one server-side QP per dispatch shard across all
+	// clients (DCT-style endpoints demultiplexed by stream id), making
+	// server connection cost O(shards) instead of O(connections). Implies
+	// sharded dispatch (ServerShards, default 8). RDMA transport only.
+	Multiplex bool
+
+	// Affinity pins each shard's reply processing to its completion CPU
+	// (see rpcrdma.Config.Affinity). Sharded dispatch only.
+	Affinity bool
+
+	// SRQDepth overrides the per-shard shared receive queue depth. The
+	// capacity sweep uses it to provision per-connection mode honestly
+	// (receive buffers for every client's full credit window) while
+	// multiplexed mode keeps the fixed default.
+	SRQDepth int
+
+	// MigrationCost overrides the server's cross-CPU completion-handoff
+	// penalty (zero keeps the profile's value; see cpu.Model.Migrate).
+	MigrationCost des.Duration
+
 	Seed uint64
 }
 
@@ -178,6 +198,9 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	serverNodeCfg.Name = "server"
 	serverNodeCfg.Seed = cfg.Seed * 31
+	if cfg.MigrationCost > 0 {
+		serverNodeCfg.MigrationCost = cfg.MigrationCost
+	}
 	srvNode := fab.AddNode(serverNodeCfg)
 
 	srv := &Server{Node: srvNode}
@@ -231,6 +254,11 @@ func NewCluster(cfg Config) *Cluster {
 			sCfg.Design = cfg.Design
 			sCfg.Shards = cfg.ServerShards
 			sCfg.MaxConns = cfg.MaxConns
+			sCfg.Multiplex = cfg.Multiplex
+			sCfg.Affinity = cfg.Affinity
+			if cfg.SRQDepth > 0 {
+				sCfg.SRQDepth = cfg.SRQDepth
+			}
 			c.serverRDMACfg = sCfg
 			srv.RDMA = rpcrdma.NewServerTransport(p, srvNode, srv.Mgr, dispatcher, sCfg)
 			for _, cl := range c.Clients {
@@ -270,29 +298,51 @@ func NewCluster(cfg Config) *Cluster {
 }
 
 // newClientTransport builds an RPC/RDMA client endpoint with the cluster's
-// configured design, shared by initial wiring and Reconnect.
-func newClientTransport(p *des.Proc, cq *ibsim.QP, cl *Client) *rpcrdma.ClientTransport {
+// configured design, shared by initial wiring and Reconnect. In multiplexed
+// mode the transport is sized to the server's initial credit grant (its
+// sub-account of the shard's pooled receives) and honors regrants carried in
+// replies.
+func newClientTransport(p *des.Proc, cq *ibsim.QP, cl *Client, grant int) *rpcrdma.ClientTransport {
 	cfg := cl.cluster.Cfg.Profile.RDMAClient
 	cfg.Design = cl.cluster.Cfg.Design
+	if cl.cluster.Cfg.Multiplex {
+		cfg.Multiplex = true
+		if grant > 0 && grant < cfg.Credits {
+			cfg.Credits = grant
+		}
+	}
 	return rpcrdma.NewClientTransport(p, cq, cl.Mgr, cfg)
 }
 
 // connectRDMA dials the server for one client, honouring admission control:
 // a rejected connection is closed and redialled with exponential backoff
-// until the server has room. Used by both initial wiring and Reconnect. The
-// retry budget is finite; a nil transport and an error mean every attempt
-// was rejected — because MaxConns starves this client, or because the
-// server is down (crashed) for longer than the whole dial window. Initial
-// wiring treats that as fatal; the recovery layer keeps redialling.
+// until the server has room. Used by both initial wiring and Reconnect, in
+// both connection modes — a dedicated QP pair per client, or (Multiplex) a
+// lightweight endpoint attached to a shard's shared QP. The retry budget is
+// finite; a nil transport and an error mean every attempt was rejected —
+// because MaxConns starves this client, or because the server is down
+// (crashed) for longer than the whole dial window. Initial wiring treats
+// that as fatal; the recovery layer keeps redialling.
 func connectRDMA(p *des.Proc, cl *Client) (*rpcrdma.ClientTransport, error) {
 	cluster := cl.cluster
+	// One admission attempt; both modes share the surrounding backoff loop
+	// so redial policy cannot drift between them.
+	dial := func() (*ibsim.QP, int, bool) {
+		if cluster.Cfg.Multiplex {
+			return cluster.Server.RDMA.TryAttach(cl.Node)
+		}
+		cq, sq := cluster.Fabric.Connect(cl.Node, cluster.Server.Node, ibsim.QPConfig{})
+		if !cluster.Server.RDMA.TryServe(sq) {
+			cq.Close()
+			return nil, 0, false
+		}
+		return cq, 0, true
+	}
 	backoff := admissionBackoffBase
 	for attempt := 0; ; attempt++ {
-		cq, sq := cluster.Fabric.Connect(cl.Node, cluster.Server.Node, ibsim.QPConfig{})
-		if cluster.Server.RDMA.TryServe(sq) {
-			return newClientTransport(p, cq, cl), nil
+		if cq, grant, ok := dial(); ok {
+			return newClientTransport(p, cq, cl, grant), nil
 		}
-		cq.Close()
 		if attempt >= admissionRetryLimit {
 			return nil, fmt.Errorf("core: %s rejected by server %d times (MaxConns=%d too small for %d clients, or server down?)",
 				cl.Node.Name(), attempt+1, cluster.Cfg.MaxConns, cluster.Cfg.Clients)

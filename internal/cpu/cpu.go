@@ -24,8 +24,11 @@ type Model struct {
 	CopyNsPerByte    float64      // memcpy cost per byte, in nanoseconds (cache-cold)
 	InterruptCost    des.Duration // per hardware interrupt (incl. context switch)
 	SyscallCost      des.Duration // per user/kernel crossing
+	MigrationCost    des.Duration // per cross-CPU completion handoff (cache refill + IPI)
 	windowStart      des.Time
 	interrupts       int64
+	migrations       int64
+	localWakes       int64
 	busyAtWindowZero float64
 }
 
@@ -70,6 +73,38 @@ func (m *Model) Syscall(p *des.Proc) {
 	m.Work(p, m.SyscallCost)
 }
 
+// PinFor maps an ordinal (shard id, worker id) onto a CPU number, the
+// round-robin placement an IRQ/completion-vector table uses.
+func (m *Model) PinFor(i int) int {
+	if i < 0 {
+		return 0
+	}
+	return i % m.Cores()
+}
+
+// Migrate charges the cost of handing work completed on complCPU to code
+// running on runCPU. When the two differ the waking thread finds its request
+// state cache-cold on another core and pays MigrationCost (the xprtrdma
+// "spread reply processing" effect: completion steering decides whether reply
+// handling is a warm-cache local wake or a cross-CPU migration). Same-CPU
+// handoffs are free and counted separately.
+func (m *Model) Migrate(p *des.Proc, complCPU, runCPU int) {
+	if complCPU == runCPU {
+		m.localWakes++
+		return
+	}
+	m.migrations++
+	m.Work(p, m.MigrationCost)
+}
+
+// Migrations returns cross-CPU completion handoffs since the last
+// ResetWindow.
+func (m *Model) Migrations() int64 { return m.migrations }
+
+// LocalWakes returns same-CPU completion handoffs since the last
+// ResetWindow.
+func (m *Model) LocalWakes() int64 { return m.localWakes }
+
 // Interrupts returns the number of interrupts taken since the last
 // ResetWindow.
 func (m *Model) Interrupts() int64 { return m.interrupts }
@@ -80,6 +115,8 @@ func (m *Model) ResetWindow() {
 	m.windowStart = m.sim.Now()
 	m.busyAtWindowZero = m.cores.BusySeconds()
 	m.interrupts = 0
+	m.migrations = 0
+	m.localWakes = 0
 }
 
 // Utilization returns mean CPU utilization (0..1 across all cores) over the

@@ -15,6 +15,7 @@ import (
 type ChaosPoint struct {
 	Design      rpcrdma.Design
 	Shards      int
+	Multiplex   bool
 	Seeds       int
 	Crashes     int64
 	Reconnects  int64
@@ -43,35 +44,45 @@ func chaosSeedsFor(scale Scale) int {
 }
 
 // RunChaos soaks seeded fault schedules — QP errors, link flaps, server
-// crash/restart cycles — against both transfer designs and both server
-// receive paths (per-connection and SRQ-sharded). Every run must satisfy
-// the data-integrity oracle (every READ byte explained by the write
-// history, non-idempotent replays legal only across a crash window) and the
-// trace invariant checkers from the tracing layer. The table reports
-// recovery work done and a failure count that should read zero.
+// crash/restart cycles — against both transfer designs and all three server
+// receive paths (per-connection, SRQ-sharded, and shared-QP multiplexed).
+// Every run must satisfy the data-integrity oracle (every READ byte
+// explained by the write history, non-idempotent replays legal only across
+// a crash window) and the trace invariant checkers from the tracing layer.
+// The table reports recovery work done and a failure count that should read
+// zero.
 func RunChaos(scale Scale) *Chaos {
 	out := &Chaos{
 		Table: stats.NewTable("Chaos soak: seeded fault schedules (QP errors, link flaps, server crashes), 2 clients, integrity oracle + trace invariants",
-			"design", "shards", "seeds", "crashes", "reconnects", "replays", "writes", "oracle reads", "renames", "failures"),
+			"design", "mode", "seeds", "crashes", "reconnects", "replays", "writes", "oracle reads", "renames", "failures"),
 	}
 	seeds := chaosSeedsFor(scale)
 	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
-	shardCounts := []int{0, 2}
-	cells := runner.Grid(len(designs), len(shardCounts))
+	type serverMode struct {
+		name   string
+		shards int
+		mux    bool
+	}
+	modes := []serverMode{{"per-conn", 0, false}, {"sharded", 2, false}, {"mux", 2, true}}
+	cells := runner.Grid(len(designs), len(modes))
 
 	results := pmap(len(cells)*seeds, func(i int) *chaos.Result {
 		c := cells[i/seeds]
+		m := modes[c[1]]
 		return chaos.Run(chaos.Config{
 			Seed:          uint64(i%seeds + 1),
 			Design:        designs[c[0]],
-			Shards:        shardCounts[c[1]],
+			Shards:        m.shards,
+			Multiplex:     m.mux,
+			Affinity:      m.mux,
 			Faults:        4,
 			TraceCapacity: 1 << 20,
 		})
 	})
 
 	for ci, c := range cells {
-		pt := ChaosPoint{Design: designs[c[0]], Shards: shardCounts[c[1]], Seeds: seeds}
+		pt := ChaosPoint{Design: designs[c[0]], Shards: modes[c[1]].shards,
+			Multiplex: modes[c[1]].mux, Seeds: seeds}
 		for s := 0; s < seeds; s++ {
 			r := results[ci*seeds+s]
 			pt.Crashes += r.Crashes
@@ -90,7 +101,7 @@ func RunChaos(scale Scale) *Chaos {
 		if pt.Failures > 0 {
 			failures = fmt.Sprintf("%d (seeds %v)", pt.Failures, pt.FailedSeeds)
 		}
-		out.Table.AddRow(pt.Design.String(), pt.Shards, pt.Seeds, pt.Crashes,
+		out.Table.AddRow(pt.Design.String(), modes[c[1]].name, pt.Seeds, pt.Crashes,
 			pt.Reconnects, pt.Replays, pt.WritesAcked, pt.OracleReads, pt.RenamesOK, failures)
 	}
 	return out

@@ -6,26 +6,34 @@ import (
 )
 
 // TestChaosSweep is the chaos soak acceptance check at test scale: every
-// (design, shards) cell runs its seeds clean — zero oracle violations, zero
-// trace invariant failures — while actually doing recovery work.
+// (design, server mode) cell — per-connection, sharded, and shared-QP
+// multiplexed — runs its seeds clean — zero oracle violations, zero trace
+// invariant failures — while actually doing recovery work.
 func TestChaosSweep(t *testing.T) {
 	r := RunChaos(testScale * 2) // 4 seeds per cell; the full soak lives in internal/chaos
-	if len(r.Points) != 4 {
-		t.Fatalf("points = %d, want 4 (2 designs x 2 shard counts)", len(r.Points))
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d, want 6 (2 designs x 3 server modes)", len(r.Points))
 	}
+	muxCells := 0
 	for _, p := range r.Points {
+		if p.Multiplex {
+			muxCells++
+		}
 		if p.Failures != 0 {
-			t.Errorf("design=%v shards=%d: %d failing seeds %v",
-				p.Design, p.Shards, p.Failures, p.FailedSeeds)
+			t.Errorf("design=%v shards=%d mux=%v: %d failing seeds %v",
+				p.Design, p.Shards, p.Multiplex, p.Failures, p.FailedSeeds)
 		}
 		if p.Crashes == 0 || p.Reconnects == 0 {
-			t.Errorf("design=%v shards=%d: crashes=%d reconnects=%d; schedules did not land",
-				p.Design, p.Shards, p.Crashes, p.Reconnects)
+			t.Errorf("design=%v shards=%d mux=%v: crashes=%d reconnects=%d; schedules did not land",
+				p.Design, p.Shards, p.Multiplex, p.Crashes, p.Reconnects)
 		}
 		if p.WritesAcked == 0 || p.OracleReads == 0 {
-			t.Errorf("design=%v shards=%d: writes=%d reads=%d; workload did not run",
-				p.Design, p.Shards, p.WritesAcked, p.OracleReads)
+			t.Errorf("design=%v shards=%d mux=%v: writes=%d reads=%d; workload did not run",
+				p.Design, p.Shards, p.Multiplex, p.WritesAcked, p.OracleReads)
 		}
+	}
+	if muxCells != 2 {
+		t.Errorf("mux cells = %d, want 2", muxCells)
 	}
 }
 

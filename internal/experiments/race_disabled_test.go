@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// See race_enabled_test.go.
+const raceDetectorOn = false

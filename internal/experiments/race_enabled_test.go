@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn reports whether this test binary was built with -race.
+// A handful of large-population sweeps scale themselves down under the
+// detector (~10x per-instruction host cost) so `make check` stays inside
+// the test timeout; the plain build runs them at full scale.
+const raceDetectorOn = true

@@ -80,10 +80,13 @@ type NodeConfig struct {
 	FMRMapPerPageBus des.Duration // FMR map TPT write per page (serial, cheaper)
 
 	// CPU cost parameters (see package cpu). CopyNsPerByte is in
-	// nanoseconds per byte (fractional values allowed).
+	// nanoseconds per byte (fractional values allowed). MigrationCost is the
+	// penalty for completing work on one CPU and resuming the waiting thread
+	// on another (completion-to-CPU affinity; zero disables the model).
 	CopyNsPerByte float64
 	InterruptCost des.Duration
 	SyscallCost   des.Duration
+	MigrationCost des.Duration
 
 	// MeanPhysRun overrides the memory physical-contiguity model when > 0.
 	MeanPhysRun int
@@ -133,6 +136,7 @@ func (f *Fabric) AddNode(cfg NodeConfig) *Node {
 	n.CPU.CopyNsPerByte = cfg.CopyNsPerByte
 	n.CPU.InterruptCost = cfg.InterruptCost
 	n.CPU.SyscallCost = cfg.SyscallCost
+	n.CPU.MigrationCost = cfg.MigrationCost
 	n.Mem = newMemory(n, cfg.Seed*0x9E37+1)
 	if cfg.MeanPhysRun > 0 {
 		n.Mem.MeanPhysRun = cfg.MeanPhysRun

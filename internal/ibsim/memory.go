@@ -92,6 +92,14 @@ type Memory struct {
 
 	buffers []*Buffer // all live allocations, ordered by Base
 
+	// pool recycles materialized data slices by power-of-two size class.
+	// Staging-heavy protocol paths (the Read-Read design materializes a
+	// MaxBulk-sized reply buffer per call) would otherwise churn gigabytes
+	// of host allocations per simulated second. Reused slices are NOT
+	// zero-filled — simulated memory behaves like real DRAM, whose contents
+	// after allocation are whatever the previous owner left there.
+	pool map[int][][]byte
+
 	// MeanPhysRun is the mean physically contiguous run length in bytes.
 	// Kernel slab/page allocators on a busy machine rarely produce long
 	// contiguous ranges; the default (32 KiB) is chosen so that all-physical
@@ -106,7 +114,30 @@ type Memory struct {
 const pageSize = 4096
 
 func newMemory(node *Node, seed uint64) *Memory {
-	return &Memory{node: node, next: 0x1000, rng: des.NewRand(seed), MeanPhysRun: 32 << 10}
+	return &Memory{node: node, next: 0x1000, rng: des.NewRand(seed), MeanPhysRun: 32 << 10,
+		pool: make(map[int][][]byte)}
+}
+
+// dataClass rounds a materialized allocation up to its recycling class
+// (powers of two ≥ 4 KiB).
+func dataClass(size int) int {
+	c := 4096
+	for c < size {
+		c <<= 1
+	}
+	return c
+}
+
+// dataFor returns a byte slice of exactly size bytes, reusing a pooled slice
+// of the matching class when one is free (LIFO, deterministic).
+func (m *Memory) dataFor(size int) []byte {
+	c := dataClass(size)
+	if free := m.pool[c]; len(free) > 0 {
+		d := free[len(free)-1]
+		m.pool[c] = free[:len(free)-1]
+		return d[:size]
+	}
+	return make([]byte, c)[:size]
 }
 
 // Alloc returns a new buffer of the given size. Physical runs are drawn
@@ -122,7 +153,7 @@ func (m *Memory) Alloc(size int) *Buffer {
 	// registered range by accident.
 	m.next += pageSize
 	if m.node.fab.CopyData {
-		b.data = make([]byte, size)
+		b.data = m.dataFor(size)
 	}
 	remaining := size
 	for remaining > 0 {
@@ -173,7 +204,7 @@ func (m *Memory) find(addr uint64) (*Buffer, int) {
 func (m *Memory) AllocMaterialized(size int) *Buffer {
 	b := m.Alloc(size)
 	if b.data == nil {
-		b.data = make([]byte, size)
+		b.data = m.dataFor(size)
 	}
 	return b
 }
@@ -187,13 +218,22 @@ func (m *Memory) AllocContiguous(size int) *Buffer {
 }
 
 // Free releases the buffer. The address range is not reused (bump
-// allocator), which makes stale-address bugs in protocol code detectable.
+// allocator), which makes stale-address bugs in protocol code detectable —
+// but the materialized bytes go back to the recycling pool, so touching a
+// freed buffer's Data is also detectable (it is nil).
 func (m *Memory) Free(b *Buffer) {
 	if b.freed {
 		panic("ibsim: double free")
 	}
 	b.freed = true
 	m.allocated -= int64(b.Size)
+	if b.data != nil {
+		d := b.data[:cap(b.data)]
+		if len(d) == dataClass(b.Size) {
+			m.pool[len(d)] = append(m.pool[len(d)], d)
+		}
+		b.data = nil
+	}
 }
 
 // AllocatedBytes returns the total live allocation, for leak assertions in

@@ -1,0 +1,272 @@
+package ibsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+// testMux builds a fabric with one server-side mux QP and n client endpoints.
+func testMux(t testing.TB, n int) (*des.Sim, *Fabric, *Node, []*Node, *QP, []*QP) {
+	t.Helper()
+	sim := des.New()
+	fab := NewFabric(sim, true)
+	srv := fab.AddNode(NodeConfig{Name: "server", Cores: 4, PortBandwidth: 900e6, PortLatency: 3 * time.Microsecond})
+	mqp := fab.NewMuxQP(srv, QPConfig{})
+	var nodes []*Node
+	var eps []*QP
+	for i := 0; i < n; i++ {
+		cn := fab.AddNode(NodeConfig{Name: "client", Cores: 2, PortBandwidth: 900e6, PortLatency: 3 * time.Microsecond})
+		ep, err := fab.AttachEndpoint(cn, mqp, QPConfig{})
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		nodes = append(nodes, cn)
+		eps = append(eps, ep)
+	}
+	return sim, fab, srv, nodes, mqp, eps
+}
+
+func TestMuxSendDemuxesByStream(t *testing.T) {
+	sim, _, _, _, mqp, eps := testMux(t, 3)
+	for i := 0; i < 6; i++ {
+		mqp.PostRecv(uint64(i), 1024)
+	}
+	got := map[uint32]string{}
+	sim.Spawn("server", func(p *des.Proc) {
+		for i := 0; i < 3; i++ {
+			cqe := mqp.RecvCQ.Wait(p)
+			if cqe.Err != nil {
+				t.Errorf("recv error: %v", cqe.Err)
+				return
+			}
+			if cqe.Stream == 0 {
+				t.Error("arrival without stream id on mux QP")
+			}
+			got[cqe.Stream] = string(cqe.Payload)
+			// Reply on the same stream.
+			mqp.PostSend(&SendWQE{WRID: uint64(i), Op: OpSend, Stream: cqe.Stream,
+				Payload: append([]byte("re: "), cqe.Payload...)})
+		}
+	})
+	for i, ep := range eps {
+		i, ep := i, ep
+		sim.Spawn("client", func(p *des.Proc) {
+			ep.PostRecv(1, 1024)
+			msg := []byte{'c', byte('0' + i)}
+			cqe := ep.PostAndWait(p, &SendWQE{WRID: 9, Op: OpSend, Payload: msg})
+			if cqe.Err != nil {
+				t.Errorf("client %d send: %v", i, cqe.Err)
+				return
+			}
+			r := ep.RecvCQ.Wait(p)
+			if r.Err != nil || string(r.Payload) != "re: c"+string(byte('0'+i)) {
+				t.Errorf("client %d reply = %q err=%v", i, r.Payload, r.Err)
+			}
+		})
+	}
+	sim.Run()
+	if len(got) != 3 {
+		t.Fatalf("demuxed %d distinct streams, want 3", len(got))
+	}
+	for _, ep := range eps {
+		if _, ok := got[ep.Stream()]; !ok {
+			t.Fatalf("stream %#x never arrived", ep.Stream())
+		}
+	}
+}
+
+func TestMuxWriteAndReadByStream(t *testing.T) {
+	sim, _, _, nodes, mqp, eps := testMux(t, 2)
+	// Server writes into client 0's memory and reads client 1's, addressing
+	// each through its stream.
+	src := mqp.Node().Mem.Alloc(4096)
+	dst := mqp.Node().Mem.Alloc(4096)
+	cbuf0 := nodes[0].Mem.Alloc(4096)
+	cbuf1 := nodes[1].Mem.Alloc(4096)
+	fill(src, 7)
+	fill(cbuf1, 11)
+	sim.Spawn("server", func(p *des.Proc) {
+		mr0 := nodes[0].HCA.Register(p, cbuf0, 0, 4096, AccessLocalWrite|AccessRemoteWrite)
+		mr1 := nodes[1].HCA.Register(p, cbuf1, 0, 4096, AccessRemoteRead)
+		cqe := mqp.PostAndWait(p, &SendWQE{WRID: 1, Op: OpWrite, Stream: eps[0].Stream(),
+			Local: []LocalSeg{{Buf: src, Off: 0, Len: 4096}}, RemoteKey: mr0.Rkey(), RemoteAddr: mr0.Start()})
+		if cqe.Err != nil {
+			t.Errorf("mux write: %v", cqe.Err)
+		}
+		cqe = mqp.PostAndWait(p, &SendWQE{WRID: 2, Op: OpRead, Stream: eps[1].Stream(),
+			Local: []LocalSeg{{Buf: dst, Off: 0, Len: 4096}}, RemoteKey: mr1.Rkey(), RemoteAddr: mr1.Start()})
+		if cqe.Err != nil {
+			t.Errorf("mux read: %v", cqe.Err)
+		}
+	})
+	sim.Run()
+	if got, want := cbuf0.Bytes(0, 4096), src.Bytes(0, 4096); string(got) != string(want) {
+		t.Fatal("mux write did not land in the stream's endpoint memory")
+	}
+	if got, want := dst.Bytes(0, 4096), cbuf1.Bytes(0, 4096); string(got) != string(want) {
+		t.Fatal("mux read did not pull the stream's endpoint memory")
+	}
+}
+
+func TestMuxEndpointDeathIsScopedAndFreesSlot(t *testing.T) {
+	sim, _, _, _, mqp, eps := testMux(t, 3)
+	mqp.PostRecv(0, 1024)
+	var epErr *CQE
+	sim.Spawn("server", func(p *des.Proc) {
+		epErr = mqp.RecvCQ.Wait(p)
+	})
+	sim.Spawn("killer", func(p *des.Proc) {
+		p.Sleep(time.Microsecond)
+		eps[1].InjectError(nil)
+	})
+	sim.Run()
+	if epErr == nil || epErr.Err == nil {
+		t.Fatal("no endpoint-scoped error CQE on the shared CQ")
+	}
+	if epErr.Stream != eps[1].Stream() {
+		t.Fatalf("error CQE stream = %#x, want %#x", epErr.Stream, eps[1].Stream())
+	}
+	if mqp.Err() != nil {
+		t.Fatalf("shared QP died with its endpoint: %v", mqp.Err())
+	}
+	if eps[0].Err() != nil || eps[2].Err() != nil {
+		t.Fatal("sibling endpoints died with endpoint 1")
+	}
+	if mqp.Endpoints() != 2 {
+		t.Fatalf("live endpoints = %d, want 2", mqp.Endpoints())
+	}
+}
+
+func TestMuxSlotReuseNoLeak(t *testing.T) {
+	sim, fab, _, nodes, mqp, eps := testMux(t, 2)
+	sim.Spawn("churn", func(p *des.Proc) {
+		stale := eps[1].Stream()
+		for i := 0; i < 50; i++ {
+			eps[1].Close()
+			p.Sleep(time.Microsecond)
+			ep, err := fab.AttachEndpoint(nodes[1], mqp, QPConfig{})
+			if err != nil {
+				t.Errorf("reattach %d: %v", i, err)
+				return
+			}
+			if ep.Stream() == stale {
+				t.Errorf("reattach %d reused a stream id without a generation bump", i)
+				return
+			}
+			eps[1] = ep
+		}
+	})
+	sim.Run()
+	if mqp.Endpoints() != 2 {
+		t.Fatalf("live endpoints = %d, want 2", mqp.Endpoints())
+	}
+	if mqp.SlotTableSize() != 2 {
+		t.Fatalf("slot table grew to %d across churn, want 2 (slot leak)", mqp.SlotTableSize())
+	}
+}
+
+func TestMuxStaleStreamFlushes(t *testing.T) {
+	sim, _, _, _, mqp, eps := testMux(t, 1)
+	stale := eps[0].Stream()
+	sim.Spawn("server", func(p *des.Proc) {
+		eps[0].Close() // slot freed, generation bumped
+		cqe := mqp.PostAndWait(p, &SendWQE{WRID: 1, Op: OpSend, Stream: stale, Payload: []byte("late reply")})
+		if cqe.Err == nil {
+			t.Error("send on a stale stream completed successfully")
+		}
+		if !errors.Is(cqe.Err, ErrQPError) {
+			t.Errorf("stale-stream error = %v, want ErrQPError", cqe.Err)
+		}
+	})
+	sim.Run()
+	if mqp.Err() != nil {
+		t.Fatalf("stale-stream send killed the shared QP: %v", mqp.Err())
+	}
+}
+
+func TestMuxSharedQPErrorKillsOnlyItsEndpoints(t *testing.T) {
+	sim := des.New()
+	fab := NewFabric(sim, false)
+	srv := fab.AddNode(NodeConfig{Name: "server", Cores: 4})
+	mqpA := fab.NewMuxQP(srv, QPConfig{})
+	mqpB := fab.NewMuxQP(srv, QPConfig{})
+	var epsA, epsB []*QP
+	for i := 0; i < 3; i++ {
+		cn := fab.AddNode(NodeConfig{Name: "client", Cores: 2})
+		ea, _ := fab.AttachEndpoint(cn, mqpA, QPConfig{})
+		eb, _ := fab.AttachEndpoint(cn, mqpB, QPConfig{})
+		epsA, epsB = append(epsA, ea), append(epsB, eb)
+	}
+	sim.Spawn("fault", func(p *des.Proc) {
+		p.Sleep(time.Microsecond)
+		mqpA.InjectError(nil)
+	})
+	sim.Run()
+	for i, ep := range epsA {
+		if ep.Err() == nil {
+			t.Errorf("endpoint %d on the dead shared QP survived", i)
+		}
+		if !errors.Is(ep.Err(), ErrInjected) {
+			t.Errorf("endpoint %d error = %v, want ErrInjected in chain", i, ep.Err())
+		}
+	}
+	for i, ep := range epsB {
+		if ep.Err() != nil {
+			t.Errorf("endpoint %d on the healthy shared QP died: %v", i, ep.Err())
+		}
+	}
+	if mqpB.Err() != nil {
+		t.Fatalf("sibling shared QP died: %v", mqpB.Err())
+	}
+	if mqpA.Endpoints() != 0 {
+		t.Fatalf("dead shared QP still counts %d live endpoints", mqpA.Endpoints())
+	}
+}
+
+func TestMuxRecvStateBytes(t *testing.T) {
+	_, _, _, _, mqp, _ := testMux(t, 3)
+	want := int64(QPContextBytes) + 3*EndpointSlotBytes
+	if got := mqp.RecvStateBytes(); got != want {
+		t.Fatalf("RecvStateBytes = %d, want %d", got, want)
+	}
+	mqp.PostRecv(1, 2048)
+	if got := mqp.RecvStateBytes(); got != want+2048 {
+		t.Fatalf("RecvStateBytes with one posted recv = %d, want %d", got, want+2048)
+	}
+}
+
+// TestMuxPeerForZeroAlloc pins the demultiplex hot path at zero allocations:
+// it runs per completion on the shard receive loop, so an allocation here is
+// per-message garbage at 10k clients.
+func TestMuxPeerForZeroAlloc(t *testing.T) {
+	res := testing.Benchmark(BenchmarkMuxPeerFor)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("peerFor allocates %d objects/op, want 0", a)
+	}
+}
+
+func BenchmarkMuxPeerFor(b *testing.B) {
+	sim := des.New()
+	fab := NewFabric(sim, false)
+	srv := fab.AddNode(NodeConfig{Name: "server", Cores: 4})
+	mqp := fab.NewMuxQP(srv, QPConfig{})
+	cn := fab.AddNode(NodeConfig{Name: "client", Cores: 2})
+	streams := make([]uint32, 1024)
+	for i := range streams {
+		ep, err := fab.AttachEndpoint(cn, mqp, QPConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		streams[i] = ep.Stream()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mqp.peerFor(streams[i%len(streams)]) == nil {
+			b.Fatal("live stream failed to resolve")
+		}
+	}
+}

@@ -66,6 +66,13 @@ type SendWQE struct {
 	// the CQ.
 	Done *des.Event
 
+	// Stream addresses one logical endpoint of a multiplexed (shared) QP:
+	// on a mux QP it selects which attached endpoint the request targets,
+	// and the receive CQE at the far side carries it for demultiplexing.
+	// Zero on ordinary point-to-point connections. Endpoint-side QPs stamp
+	// their own stream automatically at PostSend.
+	Stream uint32
+
 	// seq is the fabric-wide trace id assigned at PostSend while tracing;
 	// zero means the request predates the tracer (or tracing is off).
 	seq uint64
@@ -97,6 +104,13 @@ type CQE struct {
 	Bytes   int
 	Payload []byte // received Send payload (OpRecv only)
 	QP      *QP
+
+	// Stream identifies the logical endpoint on a multiplexed QP. On a
+	// shared CQ the consumer demultiplexes by Stream instead of by QP; an
+	// error CQE with Stream != 0 is endpoint-scoped (only that endpoint
+	// died), while Stream == 0 on a mux QP means the shared QP itself is
+	// gone.
+	Stream uint32
 
 	seq      uint64   // trace id, zero when tracing is off
 	postedAt des.Time // post time, for CQ-delivery latency
@@ -225,6 +239,15 @@ type QP struct {
 	ord    *des.Resource // outstanding RDMA Read slots (requester side)
 	errSt  error         // non-nil once in error state
 	closed bool
+
+	// Multiplexed (shared) connection state — see mux.go. A mux QP fans out
+	// to many lightweight endpoints through a slot table; an endpoint QP
+	// records the stream id of its slot on the peer mux QP.
+	mux       bool
+	stream    uint32    // endpoint side: slot id on the peer mux QP
+	slots     []muxSlot // mux side: attached endpoints by slot index
+	freeSlots []int     // mux side: reusable slot indices (LIFO)
+	liveEps   int       // mux side: attached, not-yet-dead endpoints
 }
 
 func newQP(n *Node, cfg QPConfig, qpn int) *QP {
@@ -274,7 +297,22 @@ func (q *QP) setError(err error) {
 		q.RecvCQ.post(&CQE{Op: OpRecv, Err: flushed, QP: q})
 		q.SendCQ.post(&CQE{Op: OpSend, Err: flushed, QP: q})
 	}
-	if q.peer != nil && q.peer.errSt == nil {
+	switch {
+	case q.mux:
+		// A shared QP dying takes every attached endpoint with it, in slot
+		// order for determinism. Each endpoint's teardown frees its slot via
+		// endpointDead (which no-ops the per-endpoint CQE once the shared QP
+		// itself is in error — the QP-scope flush CQE already covers them).
+		for i := range q.slots {
+			if ep := q.slots[i].ep; ep != nil && ep.errSt == nil {
+				ep.setError(fmt.Errorf("%w (shared qp: %w)", ErrQPError, err))
+			}
+		}
+	case q.peer != nil && q.peer.mux:
+		// Endpoint death stays endpoint-scoped: the shared QP frees the slot
+		// and posts an endpoint-scoped error CQE instead of going down.
+		q.peer.endpointDead(q)
+	case q.peer != nil && q.peer.errSt == nil:
 		// Double-wrap so the peer can still classify the root cause (e.g.
 		// errors.Is(err, ErrInjected)) while seeing it arrived via the peer.
 		q.peer.setError(fmt.Errorf("%w (peer: %w)", ErrQPError, err))
@@ -362,6 +400,9 @@ func (q *QP) PostSend(w *SendWQE) {
 		q.complete(w, fmt.Errorf("%w: flushed", ErrQPError), 0)
 		return
 	}
+	if q.stream != 0 && w.Stream == 0 {
+		w.Stream = q.stream // endpoint QPs always speak on their own stream
+	}
 	fab := q.node.fab
 	if tr := fab.Sim.Tracer(); tr != nil {
 		fab.wqeSeq++
@@ -411,7 +452,7 @@ func (q *QP) complete(w *SendWQE, err error, bytes int) {
 			tr.End(int64(q.node.fab.Sim.Now()), trace.LayerIbsim, trace.KindWQE, q.track, w.Op.String(), w.seq, errFlag)
 		}
 	}
-	cqe := &CQE{WRID: w.WRID, Op: w.Op, Err: err, Bytes: bytes, QP: q}
+	cqe := &CQE{WRID: w.WRID, Op: w.Op, Err: err, Bytes: bytes, QP: q, Stream: w.Stream}
 	if w.Signaled {
 		q.SendCQ.post(cqe)
 	}
@@ -473,25 +514,39 @@ func (q *QP) dmaSpan(p *des.Proc, w *SendWQE, size int, fn func()) {
 
 func (q *QP) launchSend(p *des.Proc, w *SendWQE) {
 	ctr := q.node.fab.Counters
+	peer := q.peerFor(w.Stream)
+	if peer == nil {
+		ctr.Inc("wqe.flushed")
+		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
+		return
+	}
 	size := len(w.Payload)
 	ctr.Inc("op.send")
 	ctr.Add("bytes.send", int64(size))
-	q.dmaSpan(p, w, size, func() { transfer(p, q.node, q.peer.node, size) })
+	q.dmaSpan(p, w, size, func() { transfer(p, q.node, peer.node, size) })
 	s := q.node.fab.Sim
-	lat := latency(q.node, q.peer.node)
+	lat := latency(q.node, peer.node)
 	arrive := s.Now() + des.Time(lat)
 	s.SpawnAt(arrive, "deliver-send", func(dp *des.Proc) {
 		q.deliverSend(dp, w, 0)
 	})
 }
 
-// deliverSend consumes a posted receive at the peer, retrying on RNR.
+// deliverSend consumes a posted receive at the peer, retrying on RNR. The
+// peer is re-resolved on every attempt: on a mux QP the target endpoint can
+// detach between retries, in which case the send flushes instead of landing
+// on a recycled slot.
 func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
-	peer := q.peer
 	ctr := q.node.fab.Counters
 	s := q.node.fab.Sim
 	if q.errSt != nil {
 		q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+		return
+	}
+	peer := q.peerFor(w.Stream)
+	if peer == nil {
+		ctr.Inc("wqe.flushed")
+		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
 		return
 	}
 	if peer.errSt != nil {
@@ -508,7 +563,13 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 		}
 		if attempt >= q.cfg.RNRRetryLimit {
 			err := fmt.Errorf("%w after %d retries", ErrRNR, attempt)
-			q.setError(err)
+			if q.mux {
+				// One endpoint not posting receives must not take the shared
+				// QP down: error stays scoped to the offending endpoint.
+				peer.setError(err)
+			} else {
+				q.setError(err)
+			}
 			q.complete(w, err, 0)
 			return
 		}
@@ -518,17 +579,21 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 	}
 	if len(w.Payload) > r.Cap {
 		err := fmt.Errorf("%w: %d > %d", ErrRecvOverflow, len(w.Payload), r.Cap)
-		q.setError(err)
-		peer.RecvCQ.post(&CQE{WRID: r.WRID, Op: OpRecv, Err: err, QP: peer})
+		if q.mux {
+			peer.setError(err)
+		} else {
+			q.setError(err)
+		}
+		peer.RecvCQ.post(&CQE{WRID: r.WRID, Op: OpRecv, Err: err, QP: peer, Stream: w.Stream})
 		q.complete(w, err, 0)
 		return
 	}
 	peer.RecvCQ.post(&CQE{
 		WRID: r.WRID, Op: OpRecv,
-		Bytes: len(w.Payload), Payload: w.Payload, QP: peer,
+		Bytes: len(w.Payload), Payload: w.Payload, QP: peer, Stream: w.Stream,
 	})
 	// Ack returns to the sender one latency later.
-	lat := latency(q.node, q.peer.node)
+	lat := latency(q.node, peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "send-ack", func(*des.Proc) {
 		q.complete(w, nil, len(w.Payload))
 	})
@@ -536,19 +601,32 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 
 func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
 	ctr := q.node.fab.Counters
+	peer := q.peerFor(w.Stream)
+	if peer == nil {
+		ctr.Inc("wqe.flushed")
+		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
+		return
+	}
 	size := w.Size()
 	ctr.Inc("op.write")
 	ctr.Add("bytes.write", int64(size))
-	q.dmaSpan(p, w, size, func() { transfer(p, q.node, q.peer.node, size) })
+	q.dmaSpan(p, w, size, func() { transfer(p, q.node, peer.node, size) })
 	s := q.node.fab.Sim
-	lat := latency(q.node, q.peer.node)
+	lat := latency(q.node, peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "deliver-write", func(*des.Proc) {
-		peer := q.peer
 		// A fault injected while the data was on the wire flushes the
-		// in-flight WQE instead of letting it land as if healthy.
+		// in-flight WQE instead of letting it land as if healthy. The peer is
+		// re-resolved so a write to a detached endpoint flushes too rather
+		// than landing in a recycled slot.
 		if q.errSt != nil {
 			ctr.Inc("wqe.flushed")
 			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+			return
+		}
+		peer := q.peerFor(w.Stream)
+		if peer == nil || peer.errSt != nil {
+			ctr.Inc("wqe.flushed")
+			q.complete(w, fmt.Errorf("%w: flushed", ErrQPError), 0)
 			return
 		}
 		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteWrite)
@@ -568,11 +646,19 @@ func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
 
 func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
 	ctr := q.node.fab.Counters
+	peer := q.peerFor(w.Stream)
+	if peer == nil {
+		ctr.Inc("wqe.flushed")
+		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
+		return
+	}
 	size := w.Size()
 	ctr.Inc("op.read")
 	ctr.Add("bytes.read", int64(size))
 	// ORD throttling: a Read that cannot get a slot stalls the send queue
 	// head (strict in-order initiation), serializing everything behind it.
+	// On a mux QP the ORD slots are shared across every endpoint — the
+	// realistic contention cost of collapsing connections onto one QP.
 	ordStart := p.Now()
 	q.ord.Acquire(p, 1)
 	if w.seq != 0 && p.Now() > ordStart {
@@ -580,15 +666,21 @@ func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
 			tr.Span(int64(ordStart), int64(p.Now()), trace.LayerIbsim, trace.KindORDWait, q.track, "ord-wait", w.seq, int64(q.ord.Capacity()))
 		}
 	}
-	q.dmaSpan(p, w, readRequestWireSize, func() { transfer(p, q.node, q.peer.node, readRequestWireSize) })
+	q.dmaSpan(p, w, readRequestWireSize, func() { transfer(p, q.node, peer.node, readRequestWireSize) })
 	s := q.node.fab.Sim
-	lat := latency(q.node, q.peer.node)
+	lat := latency(q.node, peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "read-responder", func(rp *des.Proc) {
-		peer := q.peer
 		if q.errSt != nil {
 			ctr.Inc("wqe.flushed")
 			q.ord.Release(1)
 			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
+			return
+		}
+		peer := q.peerFor(w.Stream)
+		if peer == nil || peer.errSt != nil {
+			ctr.Inc("wqe.flushed")
+			q.ord.Release(1)
+			q.complete(w, fmt.Errorf("%w: flushed", ErrQPError), 0)
 			return
 		}
 		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteRead)

@@ -44,6 +44,12 @@ type SRQ struct {
 	limitArmed bool
 	limitEv    *des.Event
 
+	// pooledBytes is the receive capacity currently sitting in the pool;
+	// commitBytes is its high-water mark — the ring the driver actually
+	// allocated, which is what receive-side memory accounting reports.
+	pooledBytes int64
+	commitBytes int64
+
 	// Stats.
 	Posted      int64 // successful PostRecv calls
 	PostFailed  int64 // PostRecv calls rejected at Depth
@@ -78,8 +84,16 @@ func (s *SRQ) PostRecv(wrid uint64, capacity int) bool {
 	}
 	s.pool.Push(&RecvWQE{WRID: wrid, Cap: capacity})
 	s.Posted++
+	s.pooledBytes += int64(capacity)
+	if s.pooledBytes > s.commitBytes {
+		s.commitBytes = s.pooledBytes
+	}
 	return true
 }
+
+// CommittedBytes returns the high-water receive capacity ever pooled — the
+// memory a driver would have allocated for this SRQ's ring.
+func (s *SRQ) CommittedBytes() int64 { return s.commitBytes }
 
 // ArmLimit arms the low-watermark event and returns it: the event fires the
 // next time a take leaves fewer than Limit buffers available (immediately,
@@ -113,6 +127,7 @@ func (s *SRQ) take() *RecvWQE {
 	}
 	r := s.pool.Pop()
 	s.Consumed++
+	s.pooledBytes -= int64(r.Cap)
 	if s.limitArmed && s.cfg.Limit > 0 && s.pool.Len() < s.cfg.Limit {
 		s.fireLimit()
 	}

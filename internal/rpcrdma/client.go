@@ -86,6 +86,26 @@ type Config struct {
 	// refill loop. Both take scale-appropriate defaults when Shards > 0.
 	SRQDepth int
 	SRQLimit int
+
+	// Multiplex shares one server-side queue pair per dispatch shard across
+	// every client on it (DCT-style): clients attach lightweight endpoints
+	// demultiplexed by stream id, so per-client receive state collapses from
+	// a full QP context to a slot-table entry and server connection cost is
+	// O(shards), not O(connections). Server side it changes admission
+	// (TryAttach instead of TryServe) and sub-divides each reply's credit
+	// grant by the shard's endpoint count, keeping the fixed-depth SRQ
+	// sufficient at any client count. Client side it makes the transport
+	// honor those shrinking grants. Implies Shards (default 8).
+	Multiplex bool
+
+	// Affinity pins each dispatch shard's reply processing to the CPU that
+	// services its completions (the shard's completion-vector CPU), so a
+	// worker wakes warm-cache on the core where the interrupt ran. Without
+	// it workers spread round-robin across cores and every completion
+	// handoff that crosses CPUs pays the node's MigrationCost — the
+	// completion-to-CPU affinity effect of the xprtrdma receive path.
+	// Server side, sharded dispatch only.
+	Affinity bool
 }
 
 // hasSerial reports whether the serialized-path model is enabled.
@@ -114,6 +134,9 @@ func (c *Config) defaults() {
 	}
 	if c.ReplyBufPool <= 0 {
 		c.ReplyBufPool = c.Credits
+	}
+	if c.Multiplex && c.Shards <= 0 {
+		c.Shards = 8
 	}
 	if c.Shards > 0 {
 		if c.SRQDepth <= 0 {
@@ -570,6 +593,16 @@ func (t *ClientTransport) receiver(p *des.Proc) {
 		}
 		if t.cfg.DynamicCredits {
 			t.inflight.setGranted(int(hdr.Credits))
+		} else if t.cfg.Multiplex {
+			// The grant is this endpoint's sub-account of the shard's pooled
+			// receives and shrinks as clients join the shard. Clamp to the
+			// receives actually posted here: a grant can also grow back when
+			// clients leave, but never past this connection's ring.
+			g := int(hdr.Credits)
+			if g > t.cfg.Credits {
+				g = t.cfg.Credits
+			}
+			t.inflight.setGranted(g)
 		}
 		pend, ok := t.pending[hdr.XID]
 		if !ok {

@@ -37,6 +37,11 @@ type serverConn struct {
 	qp  *ibsim.QP
 	id  uint64 // connection ordinal; XIDs repeat across clients, conn.id<<32|xid does not
 
+	// stream is the connection's demultiplex id on its shard's shared QP
+	// (multiplexed mode); zero on a dedicated-QP connection. Everything the
+	// server sends toward this client must be stamped with it.
+	stream uint32
+
 	// dead marks the connection's lifecycle state: once set (by connDead)
 	// the transport drops this connection's queued tasks instead of serving
 	// them and releases replies instead of parking them — no reply can ever
@@ -59,6 +64,20 @@ type serverConn struct {
 	// shard is the dispatch shard this connection is assigned to (nil on
 	// the legacy per-connection receive path).
 	shard *serverShard
+}
+
+// post sends a work request toward this connection's client, stamping the
+// stream id that selects its endpoint on a shared QP (a no-op stamp on
+// dedicated connections, where stream is 0).
+func (c *serverConn) post(w *ibsim.SendWQE) {
+	w.Stream = c.stream
+	c.qp.PostSend(w)
+}
+
+// postAndWait is post plus a blocking wait for the completion.
+func (c *serverConn) postAndWait(p *des.Proc, w *ibsim.SendWQE) *ibsim.CQE {
+	w.Stream = c.stream
+	return c.qp.PostAndWait(p, w)
 }
 
 // pruneParkedOrder removes the first occurrence of xid from the park-order
@@ -89,7 +108,9 @@ type ServerTransport struct {
 	replySlots *des.Resource // Read-Read reply-buffer pool
 	serial     *des.Resource // serialized send/receive path (nil when disabled)
 	closed     bool
+	draining   bool // Shutdown in progress: shards must not re-arm shared QPs
 	connSeq    uint64
+	workerSeq  int // round-robin worker CPU placement when affinity is off
 
 	// Sharded dispatch (cfg.Shards > 0): connections hash across shards,
 	// each with its own CQ-polling loop, SRQ, and worker slice.
@@ -174,8 +195,12 @@ func (s *ServerTransport) Shutdown(p *des.Proc) {
 	if s.closed {
 		return
 	}
+	s.draining = true
 	for _, conn := range s.conns {
 		if !conn.dead && conn.qp.Err() == nil {
+			// On a multiplexed shard the first connection's Terminate kills
+			// the shared QP — and with it every sibling endpoint; the rest of
+			// the loop sees the QP already in error and just runs teardown.
 			conn.qp.Terminate(fmt.Errorf("%w: server crashed", ErrClosed))
 		}
 		s.connDead(p, conn)
@@ -256,6 +281,45 @@ func (s *ServerTransport) TryServe(qp *ibsim.QP) bool {
 	return true
 }
 
+// TryAttach admits a multiplexed client: instead of a dedicated QP pair the
+// client gets a lightweight endpoint on one shard's shared QP, and the
+// server-side cost of the connection is a slot-table entry plus bookkeeping.
+// It returns the client-side endpoint QP, the initial credit grant (the
+// endpoint's sub-account of the shard's pooled receives — the client should
+// size its transport to it), and whether admission let the client in.
+func (s *ServerTransport) TryAttach(client *ibsim.Node) (*ibsim.QP, int, bool) {
+	if !s.cfg.Multiplex || len(s.shards) == 0 {
+		panic("rpcrdma: TryAttach needs Config.Multiplex")
+	}
+	if s.closed {
+		s.ConnsRejected++
+		return nil, 0, false
+	}
+	if s.cfg.MaxConns > 0 && s.liveConns >= s.cfg.MaxConns {
+		s.ConnsRejected++
+		return nil, 0, false
+	}
+	s.connSeq++
+	sh := s.shards[int(s.connSeq)%len(s.shards)]
+	ep, err := s.node.Fabric().AttachEndpoint(client, sh.muxQP, ibsim.QPConfig{})
+	if err != nil {
+		// Shared QP down (mid-crash) or slot table exhausted: refuse like an
+		// admission rejection; the dialer backs off and redials.
+		s.ConnsRejected++
+		return nil, 0, false
+	}
+	s.liveConns++
+	s.ConnsAccepted++
+	conn := &serverConn{srv: s, qp: sh.muxQP, id: s.connSeq, stream: ep.Stream(), shard: sh}
+	if s.cfg.DynamicCredits {
+		conn.replySlots = des.NewResource(s.node.Sim(), s.node.Name()+"/conn-replypool", s.cfg.ReplyBufPool)
+	}
+	s.conns = append(s.conns, conn)
+	sh.eps[conn.stream] = conn
+	sh.nconns++
+	return ep, int(s.advertiseCredits(conn)), true
+}
+
 // worker is one server thread (nfsd): the paper's two-part state machine —
 // receive path (allocate buffers, pull chunks, call the file system) and
 // the return path (register reply buffers, push data, reply).
@@ -266,8 +330,18 @@ func (s *ServerTransport) worker(p *des.Proc) {
 			return
 		}
 		task := v.(*serverTask)
-		s.handle(p, task)
+		s.handle(p, task, -1)
 	}
+}
+
+// migrate charges the completion-to-CPU affinity cost of resuming this task
+// on worker CPU wcpu after a completion serviced on its shard's completion
+// CPU. Legacy (unsharded) workers pass wcpu -1: no placement is modelled.
+func (s *ServerTransport) migrate(p *des.Proc, conn *serverConn, wcpu int) {
+	if wcpu < 0 || conn.shard == nil {
+		return
+	}
+	s.node.CPU.Migrate(p, conn.shard.cpuID, wcpu)
 }
 
 // connDead transitions a connection to the dead state and releases every
@@ -282,6 +356,12 @@ func (s *ServerTransport) connDead(p *des.Proc, conn *serverConn) {
 	s.liveConns--
 	if conn.shard != nil {
 		conn.shard.nconns--
+		if conn.stream != 0 {
+			// Free the demux entry; the ibsim slot was already recycled by
+			// endpointDead, so the server-side leak check is this map plus
+			// nconns returning to baseline.
+			delete(conn.shard.eps, conn.stream)
+		}
 	}
 	// Snapshot then detach the order slice before iterating: releaseParked
 	// prunes conn.parkedOrder in place, which would corrupt a range over the
@@ -315,20 +395,21 @@ func (s *ServerTransport) handleDone(p *des.Proc, conn *serverConn, xid uint32) 
 	s.releaseParked(p, connXID{conn, xid})
 }
 
-// handle wraps the real handler in a serve span while tracing.
-func (s *ServerTransport) handle(p *des.Proc, task *serverTask) {
+// handle wraps the real handler in a serve span while tracing. wcpu is the
+// worker's CPU placement for the affinity model (-1 when not modelled).
+func (s *ServerTransport) handle(p *des.Proc, task *serverTask, wcpu int) {
 	tr := s.node.Sim().Tracer()
 	if tr == nil {
-		s.handle1(p, task)
+		s.handle1(p, task, wcpu)
 		return
 	}
 	start := p.Now()
-	s.handle1(p, task)
+	s.handle1(p, task, wcpu)
 	tr.Span(int64(start), int64(p.Now()), trace.LayerRPC, trace.KindServe, s.node.Name(),
 		task.hdr.Type.String(), task.conn.traceKey(task.hdr.XID), 0)
 }
 
-func (s *ServerTransport) handle1(p *des.Proc, task *serverTask) {
+func (s *ServerTransport) handle1(p *des.Proc, task *serverTask, wcpu int) {
 	hdr := task.hdr
 	if task.conn.dead {
 		// The connection died while this message sat in the work queue;
@@ -351,7 +432,7 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask) {
 		// RPC Long Call: pull the message body advertised at position 0.
 		s.LongCalls++
 		var err error
-		callBytes, err = s.pullLongCall(p, task)
+		callBytes, err = s.pullLongCall(p, task, wcpu)
 		if err != nil {
 			return // connection-level failure; QP is already in error
 		}
@@ -394,7 +475,7 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask) {
 				Local:     []ibsim.LocalSeg{{Buf: bulkInChk.Buf, Off: off, Len: int(seg.Length)}},
 				RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
 			}
-			postWithEvent(task.conn.qp, wqe, ev)
+			postWithEvent(task.conn, wqe, ev)
 			events = append(events, ev)
 			off += int(seg.Length)
 		}
@@ -409,6 +490,7 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask) {
 			}
 		}
 		s.node.CPU.Interrupt(p) // the completion that unblocks the thread
+		s.migrate(p, task.conn, wcpu)
 		if s.serial != nil && s.cfg.SerializeSyncRead {
 			s.serial.Release(1)
 		}
@@ -468,9 +550,9 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask) {
 	// --- Return path ---
 	switch s.cfg.Design {
 	case ReadWrite:
-		s.replyReadWrite(p, task, hdr, reply, bulkOut, replyStaging)
+		s.replyReadWrite(p, task, hdr, reply, bulkOut, replyStaging, wcpu)
 	case ReadRead:
-		s.replyReadRead(p, task, hdr, reply, bulkOut, replyStaging)
+		s.replyReadRead(p, task, hdr, reply, bulkOut, replyStaging, wcpu)
 	}
 }
 
@@ -485,7 +567,7 @@ func (s *ServerTransport) replyAccess() ibsim.Access {
 }
 
 // pullLongCall fetches an RDMA_NOMSG call body.
-func (s *ServerTransport) pullLongCall(p *des.Proc, task *serverTask) ([]byte, error) {
+func (s *ServerTransport) pullLongCall(p *des.Proc, task *serverTask, wcpu int) ([]byte, error) {
 	n := 0
 	for _, seg := range task.hdr.ReadList {
 		if seg.Position == 0 {
@@ -510,11 +592,12 @@ func (s *ServerTransport) pullLongCall(p *des.Proc, task *serverTask) ([]byte, e
 			continue
 		}
 		s.BulkReads++
-		cqe := task.conn.qp.PostAndWait(p, &ibsim.SendWQE{
+		cqe := task.conn.postAndWait(p, &ibsim.SendWQE{
 			WRID: uint64(task.hdr.XID), Op: ibsim.OpRead,
 			Local:     []ibsim.LocalSeg{{Buf: staging.Buf, Off: off, Len: int(seg.Length)}},
 			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
 		})
+		s.migrate(p, task.conn, wcpu)
 		if cqe.Err != nil {
 			return nil, fmt.Errorf("%w: long call read: %v", ErrTransport, cqe.Err)
 		}
@@ -527,9 +610,9 @@ func (s *ServerTransport) pullLongCall(p *des.Proc, task *serverTask) ([]byte, e
 // client's advertised chunks, then the inline (or NOMSG long) reply. The
 // send completion guarantees the writes are placed, so every buffer is
 // released immediately — no DONE, no parking, no exposure.
-func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *Header, reply []byte, bulkOut *oncrpc.Bulk, staging *memreg.Chunk) {
+func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *Header, reply []byte, bulkOut *oncrpc.Bulk, staging *memreg.Chunk, wcpu int) {
 	rh := &Header{XID: call.XID, Credits: s.advertiseCredits(task.conn), Type: MsgRDMA}
-	qp := task.conn.qp
+	conn := task.conn
 
 	// The send path — reply marshalling, registration on return from the
 	// file system, push posting — runs under the serialized section.
@@ -549,7 +632,7 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 			s.mgr.RegisterChunk(p, staging, bulkOut.Len)
 		}
 		srcBuf := staging.Buf
-		pushed, residual := s.pushBulk(p, qp, srcBuf, bulkOut.Len, call.WriteList)
+		pushed, residual := s.pushBulk(p, conn, srcBuf, bulkOut.Len, call.WriteList)
 		if residual > 0 {
 			// The client's advertised write chunks cannot hold the payload.
 			// The annotated WriteList already tells the client how much
@@ -588,7 +671,7 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 		}
 		s.node.CPU.Copy(p, len(reply))
 		var residual int
-		rh.ReplyChunk, residual = s.pushBulk(p, qp, longChk.Buf, len(reply), call.ReplyChunk)
+		rh.ReplyChunk, residual = s.pushBulk(p, conn, longChk.Buf, len(reply), call.ReplyChunk)
 		if residual > 0 {
 			s.ShortWrites++
 			s.traceShortWrite(p, task, call.XID, residual)
@@ -599,12 +682,13 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 
 	wire := append(rh.Encode(), reply...)
 	ev := des.NewEvent(s.node.Sim())
-	postWithEvent(qp, &ibsim.SendWQE{WRID: uint64(call.XID), Op: ibsim.OpSend, Payload: wire}, ev)
+	postWithEvent(conn, &ibsim.SendWQE{WRID: uint64(call.XID), Op: ibsim.OpSend, Payload: wire}, ev)
 	if s.serial != nil {
 		s.serial.Release(1) // posting done; the wire drains without the lock
 	}
 	ev.Wait(p)
 	s.node.CPU.Interrupt(p)
+	s.migrate(p, conn, wcpu)
 	// Send completion => prior RDMA Writes placed; deregister and release.
 	if staging != nil {
 		s.mgr.Put(p, staging)
@@ -619,7 +703,7 @@ func (s *ServerTransport) replyReadWrite(p *des.Proc, task *serverTask, call *He
 // that did not fit in the peer's advertised capacity (0 on a full push).
 // Writes are unsignaled except implicitly through the following send
 // (Write-then-Send ordering).
-func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer, n int, dst []Segment) ([]Segment, int) {
+func (s *ServerTransport) pushBulk(p *des.Proc, conn *serverConn, src *ibsim.Buffer, n int, dst []Segment) ([]Segment, int) {
 	var out []Segment
 	off := 0
 	for _, seg := range dst {
@@ -634,7 +718,7 @@ func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer,
 		if tr := s.node.Sim().Tracer(); tr != nil {
 			tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindBulkWrite, s.node.Name(), "bulk-write", uint64(seg.Rkey), int64(l))
 		}
-		qp.PostSend(&ibsim.SendWQE{
+		conn.post(&ibsim.SendWQE{
 			WRID: 0, Op: ibsim.OpWrite,
 			Local:     []ibsim.LocalSeg{{Buf: src, Off: off, Len: l}},
 			RemoteKey: seg.Rkey, RemoteAddr: seg.Addr,
@@ -649,9 +733,9 @@ func (s *ServerTransport) pushBulk(p *des.Proc, qp *ibsim.QP, src *ibsim.Buffer,
 // replyReadRead sends a Read-Read design reply: expose the reply data (and
 // long replies) as read chunks, park the buffers, and wait for RDMA_DONE to
 // release them.
-func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Header, reply []byte, bulkOut *oncrpc.Bulk, staging *memreg.Chunk) {
+func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Header, reply []byte, bulkOut *oncrpc.Bulk, staging *memreg.Chunk, wcpu int) {
 	rh := &Header{XID: call.XID, Credits: s.advertiseCredits(task.conn), Type: MsgRDMA}
-	qp := task.conn.qp
+	conn := task.conn
 	var park []*memreg.Chunk
 
 	outLen := 0
@@ -749,25 +833,43 @@ func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Hea
 
 	wire := append(rh.Encode(), reply...)
 	ev := des.NewEvent(s.node.Sim())
-	postWithEvent(qp, &ibsim.SendWQE{WRID: uint64(call.XID), Op: ibsim.OpSend, Payload: wire}, ev)
+	postWithEvent(conn, &ibsim.SendWQE{WRID: uint64(call.XID), Op: ibsim.OpSend, Payload: wire}, ev)
 	if s.serial != nil {
 		s.serial.Release(1)
 	}
 	ev.Wait(p)
 	s.node.CPU.Interrupt(p)
+	s.migrate(p, conn, wcpu)
 }
 
 // advertiseCredits computes the flow-control grant carried in reply
 // headers: the static depth, or — under dynamic credits — the depth minus
 // the reply buffers THIS connection still has pinned awaiting RDMA_DONE,
 // so a client that hoards buffers throttles only itself.
+// Under multiplexing the grant is additionally capped by the connection's
+// sub-account of its shard's pooled receives: SRQDepth split across the
+// shard's endpoints (never below 1). That sub-accounting is what lets the
+// SRQ stay at a fixed depth while client count grows — aggregate in-flight
+// traffic per shard stays bounded by the pool, with no per-client rings.
 func (s *ServerTransport) advertiseCredits(conn *serverConn) uint32 {
-	if !s.cfg.DynamicCredits {
-		return uint32(s.cfg.Credits)
+	free := s.cfg.Credits
+	if s.cfg.DynamicCredits {
+		free = s.cfg.Credits - conn.parked
+		if free < 1 {
+			free = 1
+		}
 	}
-	free := s.cfg.Credits - conn.parked
-	if free < 1 {
-		free = 1
+	if s.cfg.Multiplex && conn.shard != nil && conn.stream != 0 {
+		share := 1
+		if conn.shard.nconns > 0 {
+			share = s.cfg.SRQDepth / conn.shard.nconns
+		}
+		if share < 1 {
+			share = 1
+		}
+		if free > share {
+			free = share
+		}
 	}
 	return uint32(free)
 }
@@ -803,9 +905,45 @@ func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) {
 	}
 }
 
-// postWithEvent posts a WQE whose completion fires ev.
-func postWithEvent(qp *ibsim.QP, w *ibsim.SendWQE, ev *des.Event) {
+// postWithEvent posts a WQE toward conn's client; its completion fires ev.
+func postWithEvent(conn *serverConn, w *ibsim.SendWQE, ev *des.Event) {
 	w.Signaled = false
 	w.Done = ev
-	qp.PostSend(w)
+	conn.post(w)
+}
+
+// RecvStateBytes models the server's receive-side control memory: what a
+// driver would pin to be able to accept traffic from the current client
+// population. Dedicated connections each cost a QP context plus a private
+// receive ring (Credits buffers); sharded dispatch replaces the rings with
+// each shard's SRQ (counted at its allocated high-water) but still pays one
+// QP context per connection; multiplexing collapses even that to one shared
+// QP context plus a slot entry per endpoint — O(shards), not O(connections).
+// PerConnRecvBytes is what one dedicated (non-multiplexed, non-sharded)
+// connection pins on the server: a QP context plus a private receive ring of
+// Credits buffers. Capacity tables use it as the O(connections) yardstick
+// that RecvStateBytes is measured against.
+func PerConnRecvBytes(cfg Config) int64 {
+	if cfg.Credits <= 0 {
+		cfg.Credits = 32 // defaults() mirror; Config may be pre-resolution
+	}
+	return ibsim.QPContextBytes + int64(cfg.Credits*cfg.recvBufSize())
+}
+
+func (s *ServerTransport) RecvStateBytes() int64 {
+	var n int64
+	if len(s.shards) > 0 {
+		for _, sh := range s.shards {
+			n += sh.srq.CommittedBytes()
+			if sh.muxQP != nil {
+				n += sh.muxQP.RecvStateBytes()
+			}
+		}
+		if !s.cfg.Multiplex {
+			n += int64(s.liveConns) * ibsim.QPContextBytes
+		}
+		return n
+	}
+	n = int64(s.liveConns) * (ibsim.QPContextBytes + int64(s.cfg.Credits*s.cfg.recvBufSize()))
+	return n
 }

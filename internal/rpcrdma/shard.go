@@ -23,6 +23,17 @@ type serverShard struct {
 	workQ *des.Queue
 	conns map[*ibsim.QP]*serverConn
 
+	// Multiplexed mode: the shard owns one shared QP that every client on it
+	// attaches a lightweight endpoint to, and eps demultiplexes arrivals by
+	// CQE stream id. muxQP is nil when clients get dedicated QPs.
+	muxQP *ibsim.QP
+	eps   map[uint32]*serverConn
+
+	// cpuID is the CPU servicing this shard's completion vector; the
+	// affinity model charges a migration whenever a worker on another CPU
+	// resumes off one of this shard's completions.
+	cpuID int
+
 	nextWRID uint64
 
 	// Stats.
@@ -39,11 +50,16 @@ func newServerShard(s *ServerTransport, id int) *serverShard {
 		cq:    ibsim.NewCQ(node, fmt.Sprintf("%s/shard%d/rcq", node.Name(), id)),
 		workQ: des.NewQueue(node.Sim(), fmt.Sprintf("%s/shard%d/workq", node.Name(), id)),
 		conns: make(map[*ibsim.QP]*serverConn),
+		cpuID: node.CPU.PinFor(id),
 	}
 	sh.srq = ibsim.NewSRQ(node, fmt.Sprintf("%s/shard%d/srq", node.Name(), id),
 		ibsim.SRQConfig{Depth: s.cfg.SRQDepth, Limit: s.cfg.SRQLimit})
 	for sh.srq.PostRecv(sh.nextWRID, s.cfg.recvBufSize()) {
 		sh.nextWRID++
+	}
+	if s.cfg.Multiplex {
+		sh.eps = make(map[uint32]*serverConn)
+		sh.armMuxQP()
 	}
 	workers := s.cfg.Workers / s.cfg.Shards
 	if workers < 1 {
@@ -52,9 +68,30 @@ func newServerShard(s *ServerTransport, id int) *serverShard {
 	node.Sim().Spawn(fmt.Sprintf("%s/shard%d/recv", node.Name(), id), sh.recvLoop)
 	node.Sim().Spawn(fmt.Sprintf("%s/shard%d/refill", node.Name(), id), sh.refillLoop)
 	for i := 0; i < workers; i++ {
-		node.Sim().Spawn(fmt.Sprintf("%s/shard%d/nfsd-%d", node.Name(), id, i), sh.worker)
+		// With affinity on, the shard's workers live on its completion CPU
+		// (warm-cache local wakes); off, they spread round-robin over all
+		// cores and completions migrate to reach them.
+		wcpu := sh.cpuID
+		if !s.cfg.Affinity {
+			wcpu = node.CPU.PinFor(s.workerSeq)
+			s.workerSeq++
+		}
+		node.Sim().Spawn(fmt.Sprintf("%s/shard%d/nfsd-%d", node.Name(), id, i), func(p *des.Proc) {
+			sh.worker(p, wcpu)
+		})
 	}
 	return sh
+}
+
+// armMuxQP installs a fresh shared QP on the shard, wired to the shard CQ
+// and SRQ. Called at construction and again if the shared QP ever dies while
+// the transport is still serving (rearming is what keeps one poisoned QP
+// from permanently wedging a shard's whole client population).
+func (sh *serverShard) armMuxQP() {
+	node := sh.srv.node
+	sh.muxQP = node.Fabric().NewMuxQP(node, ibsim.QPConfig{})
+	sh.muxQP.SetRecvCQ(sh.cq)
+	sh.muxQP.AttachSRQ(sh.srq)
 }
 
 // attach assigns a connection to this shard: the QP's completions land on
@@ -68,9 +105,12 @@ func (sh *serverShard) attach(conn *serverConn) {
 }
 
 // recvLoop is the shard's completion-polling loop: one loop serves every
-// connection on the shard, demultiplexing by CQE.QP. A connection error
-// kills only that connection; the shard — and every other connection on it
-// — keeps running.
+// connection on the shard, demultiplexing by CQE.QP (dedicated connections)
+// or CQE.Stream (endpoints on the shared QP). A connection error kills only
+// that connection; the shard — and every other connection on it — keeps
+// running. Only a shared-QP-scope error (mux CQE with stream 0) takes the
+// whole shard's population down, and even then the shard re-arms a fresh
+// shared QP so redialing clients can come back.
 func (sh *serverShard) recvLoop(p *des.Proc) {
 	s := sh.srv
 	for {
@@ -78,12 +118,30 @@ func (sh *serverShard) recvLoop(p *des.Proc) {
 		if cqe == nil {
 			return
 		}
-		conn := sh.conns[cqe.QP]
-		if cqe.Err != nil {
-			if conn != nil {
-				s.connDead(p, conn)
+		var conn *serverConn
+		if cqe.QP != nil && cqe.QP.IsMux() {
+			if cqe.QP != sh.muxQP {
+				continue // flush stragglers from a replaced shared QP
 			}
-			continue
+			if cqe.Err != nil {
+				if cqe.Stream == 0 {
+					sh.sharedQPDead(p)
+					continue
+				}
+				if c := sh.eps[cqe.Stream]; c != nil {
+					s.connDead(p, c)
+				}
+				continue
+			}
+			conn = sh.eps[cqe.Stream]
+		} else {
+			conn = sh.conns[cqe.QP]
+			if cqe.Err != nil {
+				if conn != nil {
+					s.connDead(p, conn)
+				}
+				continue
+			}
 		}
 		// Return the consumed WQE to the shared pool straight away; the
 		// refill loop is only a safety net for bursts that outrun this.
@@ -109,6 +167,23 @@ func (sh *serverShard) recvLoop(p *des.Proc) {
 	}
 }
 
+// sharedQPDead handles the shard's shared QP entering the error state:
+// every endpoint on it is gone (the QP-scope flush already killed their
+// client-side QPs), so tear their connections down in accept order, then —
+// unless the transport is closing — arm a replacement shared QP for the
+// reconnects that follow.
+func (sh *serverShard) sharedQPDead(p *des.Proc) {
+	s := sh.srv
+	for _, conn := range s.conns {
+		if conn.shard == sh && conn.stream != 0 && !conn.dead {
+			s.connDead(p, conn)
+		}
+	}
+	if !s.closed && !s.draining {
+		sh.armMuxQP()
+	}
+}
+
 // refillLoop tops the SRQ back up whenever the low-watermark limit event
 // fires — the IB SRQ_LIMIT asynchronous-event pattern.
 func (sh *serverShard) refillLoop(p *des.Proc) {
@@ -120,14 +195,19 @@ func (sh *serverShard) refillLoop(p *des.Proc) {
 	}
 }
 
-// worker drains the shard work queue through the shared handler.
-func (sh *serverShard) worker(p *des.Proc) {
+// worker drains the shard work queue through the shared handler. wcpu is
+// where this worker runs; picking a task enqueued by the shard's completion
+// loop is itself a completion handoff, so it pays the affinity toll before
+// any protocol work starts.
+func (sh *serverShard) worker(p *des.Proc, wcpu int) {
 	for {
 		v, ok := sh.workQ.Get(p)
 		if !ok {
 			return
 		}
-		sh.srv.handle(p, v.(*serverTask))
+		task := v.(*serverTask)
+		sh.srv.migrate(p, task.conn, wcpu)
+		sh.srv.handle(p, task, wcpu)
 	}
 }
 
@@ -141,6 +221,8 @@ type ShardStat struct {
 	SRQConsumed   int64
 	SRQLimitEvents int64
 	SRQStarved    int64 // takes that found the pool empty (RNR stalls)
+	Endpoints     int   // live endpoints on the shared QP (multiplexed mode)
+	MuxSlots      int   // shared-QP slot-table high water (leak check)
 }
 
 // ShardStats snapshots per-shard counters; empty when dispatch is not
@@ -148,7 +230,7 @@ type ShardStat struct {
 func (s *ServerTransport) ShardStats() []ShardStat {
 	out := make([]ShardStat, 0, len(s.shards))
 	for _, sh := range s.shards {
-		out = append(out, ShardStat{
+		st := ShardStat{
 			Shard:          sh.id,
 			Conns:          sh.nconns,
 			Requests:       sh.requests,
@@ -157,7 +239,12 @@ func (s *ServerTransport) ShardStats() []ShardStat {
 			SRQConsumed:    sh.srq.Consumed,
 			SRQLimitEvents: sh.srq.LimitEvents,
 			SRQStarved:     sh.srq.Starved,
-		})
+		}
+		if sh.muxQP != nil {
+			st.Endpoints = sh.muxQP.Endpoints()
+			st.MuxSlots = sh.muxQP.SlotTableSize()
+		}
+		out = append(out, st)
 	}
 	return out
 }

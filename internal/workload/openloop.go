@@ -73,6 +73,17 @@ type OpenLoopResult struct {
 	P50, P95, P99 float64        // µs
 	ServerCPUPct float64
 	Elapsed      des.Time
+
+	// ServerRecvStateBytes is the server transport's receive-side control
+	// memory for the run's client population (RDMA transport only) — the
+	// capacity sweep's O(connections)-vs-O(shards) axis.
+	ServerRecvStateBytes int64
+
+	// ServerMigrations / ServerLocalWakes split the server's completion
+	// handoffs by whether reply processing stayed on the completing CPU
+	// (counted over the measurement window; see cpu.Model.Migrate).
+	ServerMigrations int64
+	ServerLocalWakes int64
 }
 
 // RunOpenLoop drives every client of the cluster with an independent
@@ -182,5 +193,10 @@ func RunOpenLoop(p *des.Proc, cluster *core.Cluster, cfg OpenLoopConfig) (OpenLo
 	res.P95 = res.Latency.Quantile(0.95)
 	res.P99 = res.Latency.Quantile(0.99)
 	res.ServerCPUPct = cluster.Server.Node.CPU.Utilization() * 100
+	res.ServerMigrations = cluster.Server.Node.CPU.Migrations()
+	res.ServerLocalWakes = cluster.Server.Node.CPU.LocalWakes()
+	if cluster.Server.RDMA != nil {
+		res.ServerRecvStateBytes = cluster.Server.RDMA.RecvStateBytes()
+	}
 	return res, firstErr
 }

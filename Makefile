@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet faults trace-check scale-check chaos-check mux-check race-runner bench bench-record
+.PHONY: build test check vet faults trace-check scale-check chaos-check mux-check telemetry-check race-runner bench bench-record bench-compare
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet faults trace-check scale-check chaos-check mux-check
+check: vet faults trace-check scale-check chaos-check mux-check telemetry-check
 	$(GO) test -race ./...
 
 # chaos-check runs the chaos engine under the race detector: the seeded
@@ -72,6 +72,16 @@ trace-check:
 	$(GO) test -race -run 'Trace|Chrome|Summary|Ring|Nil|Check|Histograms|Emit' \
 		./internal/trace/ ./internal/core/ ./internal/experiments/
 
+# telemetry-check runs the virtual-time telemetry engine under the race
+# detector: the sampling engine and detector unit tests, the allocation-free
+# sample-path pin, the counter atomic-slot fast path, and the
+# telemetry-enabled fault and capacity suites (same-seed byte-identity,
+# knee-onset agreement with the capacity table, chaos recovery annotation).
+telemetry-check:
+	$(GO) test -race -run 'Telemetry|Detect|Sampling|Slot|Sparkline|Dashboard|Annotate|Ring|Rate|LatencyWindow|Export' \
+		./internal/telemetry/ ./internal/stats/ ./internal/workload/ \
+		./internal/experiments/ ./internal/chaos/ ./internal/core/
+
 # race-runner focuses the race detector on the concurrency boundary: the
 # sweep runner and the kernel it fans out, plus the experiments package
 # that drives them in parallel.
@@ -89,3 +99,10 @@ bench:
 bench-record:
 	$(GO) run ./cmd/nfsrdma-experiments -scale 8 -only fig5,fig7,fig8,fig9,fig10a \
 		-bench-out BENCH_1.json >/dev/null
+
+# bench-compare diffs two benchmark records figure-by-figure and fails on a
+# >10% wall-clock regression:
+#
+#     make bench-compare OLD=BENCH_1.json NEW=BENCH_6.json
+bench-compare:
+	$(GO) run ./cmd/bench-compare -old $(OLD) -new $(NEW)

@@ -1,0 +1,148 @@
+// Command bench-compare diffs two wall-clock benchmark records
+// (BENCH_N.json files written by nfsrdma-experiments -bench-out) and prints
+// a per-figure delta table. It exits non-zero when any figure present in
+// both records slowed down by more than the threshold, so CI can gate on
+// the repo's perf trajectory:
+//
+//	bench-compare -old BENCH_1.json -new BENCH_6.json [-threshold 10]
+//
+// A negative delta is a speedup. Figures present in only one record are
+// listed but never gate — the figure set grows over time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// benchRecord mirrors the schema written by nfsrdma-experiments -bench-out.
+type benchRecord struct {
+	Schema    int    `json:"schema"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	Scale     int    `json:"scale"`
+	Workers   int    `json:"workers"`
+	Note      string `json:"note,omitempty"`
+	Figures   []struct {
+		Name   string  `json:"name"`
+		WallMS float64 `json:"wall_ms"`
+	} `json:"figures"`
+}
+
+// row is one line of the comparison table.
+type row struct {
+	Name     string
+	OldMS    float64
+	NewMS    float64
+	DeltaPct float64 // (new-old)/old, percent; meaningless unless Both
+	Both     bool
+}
+
+// compare matches figures by name in old-record order, appending new-only
+// figures at the end.
+func compare(oldRec, newRec *benchRecord) []row {
+	newBy := map[string]float64{}
+	for _, f := range newRec.Figures {
+		newBy[f.Name] = f.WallMS
+	}
+	var rows []row
+	seen := map[string]bool{}
+	for _, f := range oldRec.Figures {
+		r := row{Name: f.Name, OldMS: f.WallMS}
+		if ms, ok := newBy[f.Name]; ok {
+			r.NewMS = ms
+			r.Both = true
+			if f.WallMS > 0 {
+				r.DeltaPct = (ms - f.WallMS) / f.WallMS * 100
+			}
+		}
+		seen[f.Name] = true
+		rows = append(rows, r)
+	}
+	for _, f := range newRec.Figures {
+		if !seen[f.Name] {
+			rows = append(rows, row{Name: f.Name, NewMS: f.WallMS})
+		}
+	}
+	return rows
+}
+
+// regressions returns the names of figures that slowed down past the
+// threshold (in percent). Records from different machines or scales are
+// the caller's problem — the table header shows both configurations.
+func regressions(rows []row, thresholdPct float64) []string {
+	var out []string
+	for _, r := range rows {
+		if r.Both && r.DeltaPct > thresholdPct {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// render formats the comparison table.
+func render(rows []row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s\n", "figure", "old ms", "new ms", "delta")
+	for _, r := range rows {
+		switch {
+		case !r.Both && r.OldMS > 0:
+			fmt.Fprintf(&b, "%-12s %14.1f %14s %10s\n", r.Name, r.OldMS, "-", "removed")
+		case !r.Both:
+			fmt.Fprintf(&b, "%-12s %14s %14.1f %10s\n", r.Name, "-", r.NewMS, "new")
+		default:
+			fmt.Fprintf(&b, "%-12s %14.1f %14.1f %+9.1f%%\n", r.Name, r.OldMS, r.NewMS, r.DeltaPct)
+		}
+	}
+	return b.String()
+}
+
+func load(path string) (*benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec benchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rec.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported schema %d", path, rec.Schema)
+	}
+	return &rec, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_N.json")
+	newPath := flag.String("new", "", "candidate BENCH_N.json")
+	threshold := flag.Float64("threshold", 10, "max allowed slowdown, percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: bench-compare -old BENCH_A.json -new BENCH_B.json [-threshold pct]")
+		os.Exit(2)
+	}
+	oldRec, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newRec, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("old: %s (%s, scale %d, %d workers)\n", *oldPath, oldRec.Date, oldRec.Scale, oldRec.Workers)
+	fmt.Printf("new: %s (%s, scale %d, %d workers)\n", *newPath, newRec.Date, newRec.Scale, newRec.Workers)
+	if oldRec.Scale != newRec.Scale || oldRec.Workers != newRec.Workers {
+		fmt.Println("note: records use different scale/worker settings; deltas are not like-for-like")
+	}
+	rows := compare(oldRec, newRec)
+	fmt.Print(render(rows))
+	if bad := regressions(rows, *threshold); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %s regressed more than %.0f%%\n", strings.Join(bad, ", "), *threshold)
+		os.Exit(1)
+	}
+}

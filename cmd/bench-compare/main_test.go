@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(figs ...struct {
+	Name   string
+	WallMS float64
+}) *benchRecord {
+	r := &benchRecord{Schema: 1}
+	for _, f := range figs {
+		r.Figures = append(r.Figures, struct {
+			Name   string  `json:"name"`
+			WallMS float64 `json:"wall_ms"`
+		}{f.Name, f.WallMS})
+	}
+	return r
+}
+
+type fig = struct {
+	Name   string
+	WallMS float64
+}
+
+func TestCompareMatchesAndFlagsRegressions(t *testing.T) {
+	oldRec := rec(fig{"fig5+6", 1000}, fig{"fig7", 500}, fig{"gone", 50})
+	newRec := rec(fig{"fig5+6", 1200}, fig{"fig7", 400}, fig{"added", 25})
+	rows := compare(oldRec, newRec)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	if !rows[0].Both || rows[0].DeltaPct != 20 {
+		t.Fatalf("fig5+6 row = %+v, want both with +20%%", rows[0])
+	}
+	if !rows[1].Both || rows[1].DeltaPct != -20 {
+		t.Fatalf("fig7 row = %+v, want both with -20%%", rows[1])
+	}
+	if rows[2].Both || rows[2].Name != "gone" {
+		t.Fatalf("removed row = %+v", rows[2])
+	}
+	if rows[3].Both || rows[3].Name != "added" {
+		t.Fatalf("new row = %+v", rows[3])
+	}
+
+	if bad := regressions(rows, 10); len(bad) != 1 || bad[0] != "fig5+6" {
+		t.Fatalf("regressions(10%%) = %v, want [fig5+6]", bad)
+	}
+	// At a looser threshold the +20% figure passes; removed/new rows never
+	// gate regardless.
+	if bad := regressions(rows, 25); len(bad) != 0 {
+		t.Fatalf("regressions(25%%) = %v, want none", bad)
+	}
+}
+
+func TestRenderShowsAllRowKinds(t *testing.T) {
+	rows := compare(
+		rec(fig{"a", 100}, fig{"gone", 10}),
+		rec(fig{"a", 90}, fig{"new", 5}),
+	)
+	out := render(rows)
+	for _, want := range []string{"a", "gone", "new", "removed", "-10.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

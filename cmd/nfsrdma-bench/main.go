@@ -43,6 +43,13 @@
 // schedule to a minimal reproducer. -chaos-broken-drc disables the server's
 // duplicate request cache — the deliberately broken server the oracle is
 // designed to catch.
+//
+// -telemetry FILE samples per-layer gauges and counter rates on a
+// virtual-time timer (period -telemetry-interval) during -openloop and
+// -chaos runs and writes the series to FILE (.json for a JSON report,
+// anything else CSV). -v prints the sparkline dashboard with detector
+// findings — saturation-knee onset, starvation windows, SLO burn, and (for
+// chaos runs) per-fault recovery times — after the run.
 package main
 
 import (
@@ -51,6 +58,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/core"
@@ -61,9 +70,55 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// telemetryFlags bundles the CLI's telemetry switches: sampling is enabled
+// when any of them asks for it.
+type telemetryFlags struct {
+	out       string
+	interval  time.Duration
+	dashboard bool
+}
+
+func (t telemetryFlags) enabled() bool {
+	return t.out != "" || t.dashboard || t.interval > 0
+}
+
+func (t telemetryFlags) options() telemetry.Options {
+	return telemetry.Options{Interval: des.Duration(t.interval)}
+}
+
+// emit writes the report per the flags: -telemetry FILE gets CSV (or a full
+// JSON report when FILE ends in .json), -v prints the dashboard.
+func (t telemetryFlags) emit(r *telemetry.Report) {
+	if r == nil {
+		return
+	}
+	if t.out != "" {
+		f, err := os.Create(t.out)
+		if err != nil {
+			fatal("telemetry: %v", err)
+		}
+		if strings.HasSuffix(t.out, ".json") {
+			err = r.WriteJSON(f)
+		} else {
+			err = r.WriteCSV(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal("telemetry: write %s: %v", t.out, err)
+		}
+		fmt.Printf("telemetry written to %s\n", t.out)
+	}
+	if t.dashboard {
+		fmt.Print(r.Dashboard())
+	}
+}
 
 func main() {
 	profileName := flag.String("profile", "solaris-sdr", "testbed profile: solaris-sdr, linux-sdr, linux-ddr")
@@ -99,7 +154,12 @@ func main() {
 	chaosBrokenDRC := flag.Bool("chaos-broken-drc", false, "disable the server DRC (the broken server the oracle catches)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator process to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile of the simulator process to this file")
+	telemetryOut := flag.String("telemetry", "", "write telemetry time series to this file (.json for a JSON report, else CSV); -openloop and -chaos only")
+	telemetryIval := flag.Duration("telemetry-interval", 0, "virtual-time sampling period (e.g. 50us); 0 with -telemetry/-v uses the 100µs default")
+	verbose := flag.Bool("v", false, "print the telemetry sparkline dashboard and detector findings after the run")
 	flag.Parse()
+
+	tf := telemetryFlags{out: *telemetryOut, interval: *telemetryIval, dashboard: *verbose}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -179,13 +239,13 @@ func main() {
 	}
 
 	if *chaosRun {
-		runChaos(cfg, *chaosSeed, *chaosFaults, *chaosMaxCrashes, *chaosShrink, *chaosBrokenDRC)
+		runChaos(cfg, *chaosSeed, *chaosFaults, *chaosMaxCrashes, *chaosShrink, *chaosBrokenDRC, tf)
 		return
 	}
 
 	if *openLoop {
 		cfg.Clients = *clients
-		runOpenLoop(cfg, *record, *fileSize, *offered, *durationMS, *maxOut)
+		runOpenLoop(cfg, *record, *fileSize, *offered, *durationMS, *maxOut, tf)
 		return
 	}
 
@@ -301,8 +361,11 @@ func runSweep(cfg core.Config, n, workers, record int, fileSize int64, direct bo
 // process at the given aggregate offered load and prints throughput,
 // latency quantiles, and — when the server runs sharded dispatch — the
 // per-shard SRQ counters.
-func runOpenLoop(cfg core.Config, record int, fileSize int64, offeredMBps float64, durationMS, maxOut int) {
+func runOpenLoop(cfg core.Config, record int, fileSize int64, offeredMBps float64, durationMS, maxOut int, tf telemetryFlags) {
 	cluster := core.NewCluster(cfg)
+	if tf.enabled() {
+		cluster.EnableTelemetry(tf.options())
+	}
 	var res workload.OpenLoopResult
 	var err error
 	cluster.Start("openloop", func(p *des.Proc) {
@@ -340,12 +403,13 @@ func runOpenLoop(cfg core.Config, record int, fileSize int64, offeredMBps float6
 				sh.SRQPosted, sh.SRQConsumed, sh.SRQLimitEvents, sh.SRQStarved, extra)
 		}
 	}
+	tf.emit(cluster.TelemetryReport())
 }
 
 // runChaos executes one seeded chaos schedule, prints the schedule and the
 // oracle's verdict, and — with shrink on a failure — bisects the schedule to
 // a minimal reproducer. The exit status is the verdict: 0 clean, 1 failed.
-func runChaos(cfg core.Config, seed uint64, faults, maxCrashes int, shrink, brokenDRC bool) {
+func runChaos(cfg core.Config, seed uint64, faults, maxCrashes int, shrink, brokenDRC bool, tf telemetryFlags) {
 	ccfg := chaos.Config{
 		Seed:          seed,
 		Design:        cfg.Design,
@@ -357,6 +421,12 @@ func runChaos(cfg core.Config, seed uint64, faults, maxCrashes int, shrink, brok
 		DisableDRC:    brokenDRC,
 		TraceCapacity: 1 << 20,
 	}
+	if tf.enabled() {
+		ccfg.TelemetryInterval = des.Duration(tf.interval)
+		if ccfg.TelemetryInterval <= 0 {
+			ccfg.TelemetryInterval = des.Duration(telemetry.DefaultInterval)
+		}
+	}
 	res := chaos.Run(ccfg)
 	fmt.Printf("chaos seed=%d design=%v shards=%d faults=%d maxCrashes=%d brokenDRC=%v\n",
 		seed, cfg.Design, cfg.ServerShards, faults, maxCrashes, brokenDRC)
@@ -367,6 +437,7 @@ func runChaos(cfg core.Config, seed uint64, faults, maxCrashes int, shrink, brok
 		res.Load.WritesAcked, res.Load.WritesFailed, res.OracleReads,
 		res.Load.RenamesOK, res.Load.RenameENOENTs, res.Load.RenamesFailed)
 	fmt.Printf("fingerprint: %s\n", res.Fingerprint)
+	tf.emit(res.Report)
 	if !res.Failed() {
 		fmt.Println("verdict: CLEAN (oracle and trace invariants satisfied)")
 		return

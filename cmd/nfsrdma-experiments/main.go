@@ -35,8 +35,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/des"
 	"repro/internal/experiments"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -68,6 +70,8 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write a JSON wall-clock benchmark record to this file")
 	benchNote := flag.String("bench-note", "", "free-form annotation stored in the benchmark record")
 	traceOut := flag.String("trace", "", "write the fig4 run's Chrome trace-event JSON to this file (implies fig4)")
+	telemetryPrefix := flag.String("telemetry", "", "per-point telemetry for capacity/muxcap: write <prefix>-<clients>-<mode>-<design>-<load>.csv series and print detector findings")
+	telemetryIval := flag.Duration("telemetry-interval", 100*time.Microsecond, "virtual-time sampling period for -telemetry")
 	flag.Parse()
 
 	experiments.SetParallelism(*workers)
@@ -200,18 +204,36 @@ func main() {
 	if sel("chaos") {
 		timed("chaos", func() { emit(experiments.RunChaos(s).Table) })
 	}
+	telIval := des.Duration(0)
+	if *telemetryPrefix != "" {
+		telIval = des.Duration(*telemetryIval)
+	}
 	if sel("capacity") {
 		timed("capacity", func() {
-			r := experiments.RunCapacity(s)
+			r := experiments.RunCapacityWith(s, experiments.CapacityOptions{TelemetryInterval: telIval})
 			emit(r.Curves)
 			emit(r.Knee)
+			for _, pt := range r.Points {
+				name := fmt.Sprintf("%s-cap-%d-%s-%.0f", *telemetryPrefix,
+					pt.Clients, pt.Design, pt.OfferedMBps)
+				emitTelemetry(*telemetryPrefix, name, pt.Telemetry)
+			}
 		})
 	}
 	if sel("muxcap") {
 		timed("muxcap", func() {
-			r := experiments.RunMuxCapacity(s)
+			r := experiments.RunMuxCapacityWith(s, experiments.MuxCapacityOptions{TelemetryInterval: telIval})
 			emit(r.Curves)
 			emit(r.Memory)
+			for _, pt := range r.Points {
+				mode := "perconn"
+				if pt.Multiplex {
+					mode = "mux"
+				}
+				name := fmt.Sprintf("%s-mux-%d-%s-%s-%.0f", *telemetryPrefix,
+					pt.Clients, mode, pt.Design, pt.OfferedMBps)
+				emitTelemetry(*telemetryPrefix, name, pt.Telemetry)
+			}
 		})
 	}
 	if want["ablations"] {
@@ -237,5 +259,36 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d timed sweeps)\n", *benchOut, len(rec.Figures))
+	}
+}
+
+// emitTelemetry writes one sweep point's series to <name>.csv and prints its
+// detector findings; a no-op when telemetry was not requested for the run.
+func emitTelemetry(prefix, name string, r *telemetry.Report) {
+	if prefix == "" || r == nil {
+		return
+	}
+	path := name + ".csv"
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	err = r.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("telemetry: %s (%d samples)", path, len(r.TimesS))
+	if len(r.Findings) == 0 {
+		fmt.Println("  no findings")
+		return
+	}
+	fmt.Println()
+	for _, fd := range r.Findings {
+		fmt.Printf("  %s\n", fd)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	// checkers (WQE/CQE pairing, MR exposure bounds, and — Read-Write only
 	// — no remote exposure of server memory) after the run.
 	TraceCapacity int
+
+	// TelemetryInterval > 0 enables virtual-time sampling at this period;
+	// the run's Result then carries a telemetry report with every scheduled
+	// fault annotated with its measured recovery time.
+	TelemetryInterval des.Duration
 }
 
 func (c *Config) defaults() {
@@ -97,6 +103,10 @@ type Result struct {
 	// Fingerprint condenses every counter and the final virtual time into
 	// one string; equal fingerprints mean byte-identical runs.
 	Fingerprint string
+
+	// Report is the telemetry report with chaos-recovery findings (one per
+	// scheduled fault); nil unless Config.TelemetryInterval was set.
+	Report *telemetry.Report
 }
 
 // Failed reports whether the run violated the oracle or a trace invariant.
@@ -149,6 +159,9 @@ func Run(cfg Config) *Result {
 	if cfg.TraceCapacity > 0 {
 		tr = cluster.EnableTracing(cfg.TraceCapacity)
 	}
+	if cfg.TelemetryInterval > 0 {
+		cluster.EnableTelemetry(telemetry.Options{Interval: cfg.TelemetryInterval})
+	}
 
 	oracle := NewOracle()
 	sched := Generate(cfg.Seed, GenConfig{
@@ -196,6 +209,11 @@ func Run(cfg Config) *Result {
 
 	if tr != nil {
 		res.checkInvariants(tr, cfg.Design)
+	}
+	if tel := cluster.Telemetry(); tel != nil {
+		res.Report = tel.Report()
+		res.Report.Findings = append(res.Report.Findings,
+			res.Report.AnnotateFaults(sched.FaultWindows(), "workload.writes_acked")...)
 	}
 
 	res.Fingerprint = fmt.Sprintf(

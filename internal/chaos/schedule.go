@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/telemetry"
 )
 
 // FaultKind classifies one scheduled fault.
@@ -72,6 +73,24 @@ func (s Schedule) String() string {
 		parts[i] = f.String()
 	}
 	return fmt.Sprintf("seed=%d [%s]", s.Seed, strings.Join(parts, "; "))
+}
+
+// FaultWindows converts the schedule to telemetry fault windows: a crash
+// spans [At, At+Downtime]; QP errors and link flaps are instantaneous.
+func (s Schedule) FaultWindows() []telemetry.FaultWindow {
+	out := make([]telemetry.FaultWindow, 0, len(s.Faults))
+	for _, f := range s.Faults {
+		w := telemetry.FaultWindow{
+			Name:   f.String(),
+			StartS: f.At.Seconds(),
+			EndS:   f.At.Seconds(),
+		}
+		if f.Kind == FaultServerCrash {
+			w.EndS = (f.At + des.Time(f.Downtime)).Seconds()
+		}
+		out = append(out, w)
+	}
+	return out
 }
 
 // GenConfig parameterizes schedule generation.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
 	"repro/internal/tcpsim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vfs"
 )
@@ -176,6 +177,10 @@ type Cluster struct {
 	// RestartServer can rebuild an identical transport after a crash.
 	serverRDMACfg rpcrdma.Config
 	serverDown    bool
+
+	// tel is the telemetry engine attached by EnableTelemetry (nil — the
+	// disabled engine — otherwise; see telemetry.go).
+	tel *telemetry.Engine
 }
 
 // NewCluster builds the hosts and schedules the wiring (managers and

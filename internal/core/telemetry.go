@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nfs3"
+	"repro/internal/telemetry"
+)
+
+// EnableTelemetry attaches a virtual-time sampling engine to the cluster and
+// registers probes from every layer. Probes read live cluster state through
+// the cluster pointer (not captured objects), so they keep working across a
+// server crash/restart that replaces Server.RDMA or a client reconnect that
+// replaces its transport. Idempotent: a second call returns the existing
+// engine. Workloads start/stop the sampler around their measurement window.
+func (c *Cluster) EnableTelemetry(opts telemetry.Options) *telemetry.Engine {
+	if c.tel != nil {
+		return c.tel
+	}
+	e := telemetry.New(c.Sim, opts)
+	c.tel = e
+
+	srv := c.Server
+
+	// ibsim: receive-pool and memory-exposure state. SRQ totals are zero for
+	// unsharded designs; MR exposure tracks the registered-bytes attack
+	// surface the paper's registration modes trade off.
+	e.Gauge("ibsim.srq_avail", func() float64 {
+		if c.serverDown || srv.RDMA == nil {
+			return 0
+		}
+		return float64(srv.RDMA.SRQAvailTotal())
+	})
+	e.Counter("ibsim.srq_posted", func() float64 {
+		if srv.RDMA == nil {
+			return 0
+		}
+		return float64(srv.RDMA.SRQPostedTotal())
+	})
+	e.Counter("ibsim.srq_starved", func() float64 {
+		if srv.RDMA == nil {
+			return 0
+		}
+		return float64(srv.RDMA.SRQStarvedTotal())
+	})
+	e.Gauge("ibsim.mux_endpoints", func() float64 {
+		if c.serverDown || srv.RDMA == nil {
+			return 0
+		}
+		return float64(srv.RDMA.MuxEndpointsTotal())
+	})
+	for i := 0; i < c.Cfg.ServerShards; i++ {
+		shard := i
+		e.Gauge(fmt.Sprintf("ibsim.shard%d.endpoints", shard), func() float64 {
+			if c.serverDown || srv.RDMA == nil {
+				return 0
+			}
+			return float64(srv.RDMA.ShardEndpoints(shard))
+		})
+	}
+	e.Gauge("ibsim.mr_exposed_bytes", func() float64 {
+		return float64(srv.Node.HCA.RemoteExposedBytes())
+	})
+
+	// rpcrdma: credit and queue state across all client transports plus the
+	// server's dispatch counters.
+	e.Gauge("rpcrdma.inflight", func() float64 {
+		n := 0
+		for _, cl := range c.Clients {
+			if cl.RDMA != nil {
+				n += cl.RDMA.OutstandingCalls()
+			}
+		}
+		return float64(n)
+	})
+	e.Gauge("rpcrdma.credit_occupancy", func() float64 {
+		out, granted := 0, 0
+		for _, cl := range c.Clients {
+			if cl.RDMA != nil {
+				out += cl.RDMA.OutstandingCalls()
+				granted += cl.RDMA.GrantedCredits()
+			}
+		}
+		if granted == 0 {
+			return 0
+		}
+		return float64(out) / float64(granted)
+	})
+	e.Gauge("rpcrdma.parked_replies", func() float64 {
+		if c.serverDown || srv.RDMA == nil {
+			return 0
+		}
+		return float64(srv.RDMA.ParkedReplies())
+	})
+	e.Gauge("rpcrdma.live_conns", func() float64 {
+		if c.serverDown || srv.RDMA == nil {
+			return 0
+		}
+		return float64(srv.RDMA.LiveConns())
+	})
+	e.Counter("rpcrdma.requests", func() float64 {
+		if srv.RDMA == nil {
+			return 0
+		}
+		return float64(srv.RDMA.Requests)
+	})
+	e.Counter("rpcrdma.retransmits", func() float64 {
+		var n int64
+		for _, cl := range c.Clients {
+			_, r := cl.TransportStats()
+			n += r
+		}
+		return float64(n)
+	})
+	e.Counter("rpcrdma.timeouts", func() float64 {
+		var n int64
+		for _, cl := range c.Clients {
+			t, _ := cl.TransportStats()
+			n += t
+		}
+		return float64(n)
+	})
+
+	// oncrpc: duplicate request cache occupancy and effectiveness.
+	e.Gauge("oncrpc.drc_entries", func() float64 {
+		return float64(srv.Dispatcher.DRCEntries())
+	})
+	e.Counter("oncrpc.drc_hits", func() float64 {
+		h, _ := srv.Dispatcher.DRCStats()
+		return float64(h)
+	})
+	e.Counter("oncrpc.drc_misses", func() float64 {
+		_, m := srv.Dispatcher.DRCStats()
+		return float64(m)
+	})
+
+	// nfs3: per-procedure op rates (null..commit).
+	for proc := uint32(0); proc <= nfs3.ProcCommit; proc++ {
+		i := proc
+		e.Counter("nfs3."+nfs3.ProcName(proc)+"_ops", func() float64 {
+			return float64(srv.NFS.Ops[i])
+		})
+	}
+
+	// cpu: the server's scheduler. Utilization is a rate over cumulative
+	// busy-seconds, so it survives the measurement-window resets workloads
+	// issue; d(core-seconds)/dt over core count is the windowed fraction.
+	cores := float64(srv.Node.CPU.Cores())
+	e.Counter("cpu.utilization", func() float64 {
+		return srv.Node.CPU.TotalBusySeconds() / cores
+	})
+	e.Counter("cpu.migrations", func() float64 {
+		return float64(srv.Node.CPU.Migrations())
+	})
+	e.Counter("cpu.local_wakes", func() float64 {
+		return float64(srv.Node.CPU.LocalWakes())
+	})
+
+	// core: client-cache effectiveness, recovery traffic, crash count.
+	e.Counter("core.attr_hits", func() float64 {
+		var n int64
+		for _, cl := range c.Clients {
+			if ac := cl.AttrCacheStats(); ac != nil {
+				n += ac.AttrHits + ac.LookupHits
+			}
+		}
+		return float64(n)
+	})
+	e.Counter("core.attr_misses", func() float64 {
+		var n int64
+		for _, cl := range c.Clients {
+			if ac := cl.AttrCacheStats(); ac != nil {
+				n += ac.AttrMisses + ac.LookupMisses
+			}
+		}
+		return float64(n)
+	})
+	e.Counter("core.data_hits", func() float64 {
+		var n int64
+		for _, cl := range c.Clients {
+			if dc := cl.DataCacheStats(); dc != nil {
+				n += dc.Hits
+			}
+		}
+		return float64(n)
+	})
+	e.Counter("core.data_misses", func() float64 {
+		var n int64
+		for _, cl := range c.Clients {
+			if dc := cl.DataCacheStats(); dc != nil {
+				n += dc.Misses
+			}
+		}
+		return float64(n)
+	})
+	e.Counter("core.reconnects", func() float64 {
+		var n int64
+		for _, cl := range c.Clients {
+			r, _ := cl.RecoveryStats()
+			n += r
+		}
+		return float64(n)
+	})
+	e.Gauge("core.crashes", func() float64 { return float64(c.Crashes) })
+
+	// vfs: server page cache, when configured.
+	if srv.Cache != nil {
+		e.Counter("vfs.pagecache_hits", func() float64 {
+			return float64(srv.Cache.Hits)
+		})
+		e.Counter("vfs.pagecache_misses", func() float64 {
+			return float64(srv.Cache.Misses)
+		})
+	}
+
+	return e
+}
+
+// Telemetry returns the cluster's engine, nil (the disabled engine) when
+// EnableTelemetry was never called.
+func (c *Cluster) Telemetry() *telemetry.Engine { return c.tel }
+
+// SLOBudgetUS is the p99 latency budget the standard SLO-burn detector
+// judges runs against: 1ms, comfortably above healthy service latency and
+// well below the post-knee queueing regime.
+const SLOBudgetUS = 1000
+
+// TelemetryReport snapshots the cluster's telemetry into a report and runs
+// the standard detectors over the conventional series names (knee onset and
+// SLO burn on the open-loop latency window, credit- and SRQ-starvation
+// windows). Returns nil when telemetry was never enabled.
+func (c *Cluster) TelemetryReport() *telemetry.Report {
+	if c.tel == nil {
+		return nil
+	}
+	r := c.tel.Report()
+	if f, ok := r.DetectKneeOnset("workload.lat.p99_us", "workload.inflight"); ok {
+		r.Findings = append(r.Findings, f)
+	}
+	r.Findings = append(r.Findings, r.DetectAboveThreshold(
+		"credit-starve", "rpcrdma.credit_occupancy", 0.95, 3)...)
+	r.Findings = append(r.Findings, r.DetectAboveThreshold(
+		"srq-starve", "ibsim.srq_starved", 1, 1)...)
+	if f, ok := r.DetectSLOBurn("workload.lat.p99_us", SLOBudgetUS); ok {
+		r.Findings = append(r.Findings, f)
+	}
+	return r
+}

@@ -135,6 +135,14 @@ func (m *Model) BusySeconds() float64 {
 	return m.cores.BusySeconds() - m.busyAtWindowZero
 }
 
+// TotalBusySeconds returns cumulative core-seconds consumed since the model
+// was created, independent of ResetWindow. Telemetry samples this as a rate:
+// d(busy-seconds)/dt divided by core count is windowed utilization, immune
+// to the measurement-window resets that make BusySeconds jump backwards.
+func (m *Model) TotalBusySeconds() float64 {
+	return m.cores.BusySeconds()
+}
+
 // UtilizationSince returns mean CPU utilization (0..1 across all cores)
 // over [since, now), independent of the ResetWindow state. This is the
 // windowing every other resource (ports, TPT engine, disk) uses, so

@@ -11,6 +11,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -31,6 +32,11 @@ type CapacityPoint struct {
 	SRQStarved     int64
 	SRQLimitEvents int64
 	MaxQueueDepth  int
+
+	// Telemetry is the point's time-series report with detector findings
+	// (knee onset, starvation windows, SLO burn); nil unless
+	// CapacityOptions.TelemetryInterval was set.
+	Telemetry *telemetry.Report
 }
 
 // Capacity is the scale-out capacity sweep result: the full
@@ -60,6 +66,10 @@ type CapacityOptions struct {
 
 	// Seed derives the cluster and every client's arrival process.
 	Seed uint64
+
+	// TelemetryInterval enables per-point virtual-time sampling at this
+	// period and runs the series detectors on each point (zero disables).
+	TelemetryInterval des.Duration
 }
 
 func (o *CapacityOptions) defaults() {
@@ -183,6 +193,10 @@ func runCapacityPoint(clients int, design rpcrdma.Design, aggMBps float64, scale
 		Seed:         opts.Seed,
 	})
 
+	if opts.TelemetryInterval > 0 {
+		cluster.EnableTelemetry(telemetry.Options{Interval: opts.TelemetryInterval})
+	}
+
 	pt := CapacityPoint{Clients: clients, Design: design}
 	cluster.Start("capacity-driver", func(p *des.Proc) {
 		res, err := workload.RunOpenLoop(p, cluster, workload.OpenLoopConfig{
@@ -208,6 +222,7 @@ func runCapacityPoint(clients int, design rpcrdma.Design, aggMBps float64, scale
 				pt.MaxQueueDepth = s.MaxQueueDepth
 			}
 		}
+		pt.Telemetry = cluster.TelemetryReport()
 	})
 	cluster.Run()
 	return pt

@@ -11,6 +11,7 @@ import (
 	"repro/internal/profiles"
 	"repro/internal/rpcrdma"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,10 @@ type MuxCapacityPoint struct {
 	// (multiplexed mode only).
 	Endpoints int
 	MuxSlots  int
+
+	// Telemetry is the point's time-series report with detector findings;
+	// nil unless MuxCapacityOptions.TelemetryInterval was set.
+	Telemetry *telemetry.Report
 }
 
 // MuxCapacity is the connection-scaling sweep result: throughput/p99 curves
@@ -77,6 +82,10 @@ type MuxCapacityOptions struct {
 
 	// Seed derives the cluster and every client's arrival process.
 	Seed uint64
+
+	// TelemetryInterval enables per-point virtual-time sampling at this
+	// period and runs the series detectors on each point (zero disables).
+	TelemetryInterval des.Duration
 }
 
 func (o *MuxCapacityOptions) defaults() {
@@ -193,6 +202,9 @@ func runMuxCapacityPoint(clients int, mux bool, design rpcrdma.Design, aggMBps f
 		cfg.SRQDepth = clients * credits / opts.Shards
 	}
 	cluster := core.NewCluster(cfg)
+	if opts.TelemetryInterval > 0 {
+		cluster.EnableTelemetry(telemetry.Options{Interval: opts.TelemetryInterval})
+	}
 
 	pt := MuxCapacityPoint{
 		Clients: clients, Multiplex: mux, Design: design,
@@ -221,6 +233,7 @@ func runMuxCapacityPoint(clients int, mux bool, design rpcrdma.Design, aggMBps f
 			pt.Endpoints += s.Endpoints
 			pt.MuxSlots += s.MuxSlots
 		}
+		pt.Telemetry = cluster.TelemetryReport()
 	})
 	cluster.Run()
 	return pt

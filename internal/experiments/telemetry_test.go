@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/telemetry"
+)
+
+const testTelemetryInterval = des.Duration(100 * time.Microsecond)
+
+// telemetryDigest folds a point's full telemetry output — CSV, JSON, and
+// detector findings — into one comparable string.
+func telemetryDigest(r *telemetry.Report) string {
+	if r == nil {
+		return "<nil>"
+	}
+	var csv, js bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		return "csv error: " + err.Error()
+	}
+	if err := r.WriteJSON(&js); err != nil {
+		return "json error: " + err.Error()
+	}
+	var b strings.Builder
+	b.WriteString(csv.String())
+	b.WriteString(js.String())
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "%s\n", f)
+	}
+	return b.String()
+}
+
+// sweepTelemetryDigest digests a whole telemetry-enabled capacity sweep:
+// the result tables plus every point's series and findings.
+func sweepTelemetryDigest(r *Capacity) string {
+	var b strings.Builder
+	b.WriteString(r.Curves.String())
+	b.WriteString(r.Knee.String())
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "--- %d %s %.0f\n%s", pt.Clients, pt.Design, pt.OfferedMBps,
+			telemetryDigest(pt.Telemetry))
+	}
+	return b.String()
+}
+
+// TestCapacityTelemetryDeterminism pins the telemetry byte-identity
+// contract: two same-seed telemetry-enabled runs must produce identical
+// CSV and JSON series and identical detector findings.
+func TestCapacityTelemetryDeterminism(t *testing.T) {
+	opts := CapacityOptions{
+		ClientCounts:         []int{32},
+		AggregateOfferedMBps: []float64{2400},
+		Seed:                 7,
+		TelemetryInterval:    testTelemetryInterval,
+	}
+	a := sweepTelemetryDigest(RunCapacityWith(testScale, opts))
+	b := sweepTelemetryDigest(RunCapacityWith(testScale, opts))
+	if a != b {
+		t.Fatalf("same-seed telemetry-enabled runs differ:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(a, "time_s,") {
+		t.Fatal("digest contains no CSV header — telemetry did not sample")
+	}
+}
+
+// TestCapacityTelemetryDoesNotPerturb pins sampler neutrality: the sampler
+// rides the same virtual clock as the workload but must never reorder it,
+// so a telemetry-enabled run's result tables are byte-identical to the
+// same seed run with telemetry off.
+func TestCapacityTelemetryDoesNotPerturb(t *testing.T) {
+	base := CapacityOptions{
+		ClientCounts:         []int{8},
+		AggregateOfferedMBps: []float64{600},
+		Seed:                 5,
+	}
+	withTel := base
+	withTel.TelemetryInterval = testTelemetryInterval
+	off := RunCapacityWith(testScale, base)
+	on := RunCapacityWith(testScale, withTel)
+	if off.Curves.String() != on.Curves.String() {
+		t.Fatalf("telemetry perturbed the run:\noff:\n%s\non:\n%s",
+			off.Curves.String(), on.Curves.String())
+	}
+	if on.Points[0].Telemetry == nil || len(on.Points[0].Telemetry.TimesS) == 0 {
+		t.Fatal("telemetry-enabled point has no samples")
+	}
+	if off.Points[0].Telemetry != nil {
+		t.Fatal("telemetry-disabled point unexpectedly has a report")
+	}
+}
+
+// TestCapacityTelemetrySeqVsParallel checks that the sweep fan-out is
+// invisible in the telemetry too: one worker and eight workers must produce
+// byte-identical series and findings for every point.
+func TestCapacityTelemetrySeqVsParallel(t *testing.T) {
+	opts := CapacityOptions{
+		ClientCounts:         []int{8, 32},
+		AggregateOfferedMBps: []float64{2400},
+		Seed:                 3,
+		TelemetryInterval:    testTelemetryInterval,
+	}
+	SetParallelism(1)
+	defer SetParallelism(0)
+	seq := sweepTelemetryDigest(RunCapacityWith(testScale, opts))
+	SetParallelism(8)
+	par := sweepTelemetryDigest(RunCapacityWith(testScale, opts))
+	if seq != par {
+		t.Fatalf("sequential and parallel telemetry sweeps differ:\n%s\n---\n%s", seq, par)
+	}
+}
+
+// TestCapacityKneeOnsetAgreesWithTable is the acceptance cross-check
+// between the two independent saturation detectors: the sweep-level Knee
+// table (achieved-vs-offered gain analysis across load steps) and the
+// per-run knee-onset detector (p99 rise + inflight build-up inside one
+// run's time series). At the offered-load step where the table places the
+// knee, the time-series detector must also find an onset; at the lowest
+// load — well under the server ceiling — it must stay quiet.
+func TestCapacityKneeOnsetAgreesWithTable(t *testing.T) {
+	opts := CapacityOptions{
+		ClientCounts:         []int{512},
+		AggregateOfferedMBps: []float64{300, 600, 1200, 2400},
+		Seed:                 7,
+		TelemetryInterval:    testTelemetryInterval,
+	}
+	r := RunCapacityWith(testScale, opts)
+	t.Logf("\n%s\n%s", r.Curves.String(), r.Knee.String())
+
+	hasOnset := func(pt CapacityPoint) bool {
+		if pt.Telemetry == nil {
+			t.Fatalf("point %d %s %.0f has no telemetry", pt.Clients, pt.Design, pt.OfferedMBps)
+		}
+		for _, f := range pt.Telemetry.Findings {
+			if f.Detector == "knee-onset" {
+				return true
+			}
+		}
+		return false
+	}
+
+	loads := len(opts.AggregateOfferedMBps)
+	for g := 0; g+loads <= len(r.Points); g += loads {
+		run := r.Points[g : g+loads]
+		// Recompute the table's knee step with the sweep's own definition.
+		peak := run[0]
+		for _, p := range run {
+			if p.AchievedMBps > peak.AchievedMBps {
+				peak = p
+			}
+		}
+		kneeIdx := -1
+		for i := 1; i < len(run); i++ {
+			gain := run[i].AchievedMBps - run[i-1].AchievedMBps
+			step := run[i].OfferedMBps - run[i-1].OfferedMBps
+			if gain < kneeGainRatio*step && run[i].AchievedMBps >= kneePeakRatio*peak.AchievedMBps {
+				kneeIdx = i
+				break
+			}
+		}
+		if kneeIdx < 0 {
+			t.Errorf("%d clients %s: table found no knee up to %.0f MB/s offered",
+				run[0].Clients, run[0].Design, run[loads-1].OfferedMBps)
+			continue
+		}
+		if !hasOnset(run[kneeIdx]) {
+			t.Errorf("%d clients %s: table knee at %.0f MB/s but no knee-onset finding in that run's series:\n%v",
+				run[kneeIdx].Clients, run[kneeIdx].Design, run[kneeIdx].OfferedMBps,
+				run[kneeIdx].Telemetry.Findings)
+		}
+		if hasOnset(run[0]) {
+			t.Errorf("%d clients %s: knee-onset fired at the lowest load %.0f MB/s (pre-knee)",
+				run[0].Clients, run[0].Design, run[0].OfferedMBps)
+		}
+	}
+}

@@ -21,8 +21,11 @@ type Fabric struct {
 	// Control messages (Send payloads) are always real.
 	CopyData bool
 	Counters *stats.Counters
-	nodes    []*Node
-	qpn      int
+	// hot binds the per-WQE counters to pre-registered atomic slots so the
+	// data path never takes the counter set's mutex; see hotCounters.
+	hot   hotCounters
+	nodes []*Node
+	qpn   int
 	// wqeSeq/cqeSeq hand out fabric-wide unique ids for trace pairing:
 	// WRIDs are caller-chosen and reused, so they cannot key Begin/End
 	// pairs on their own.
@@ -36,7 +39,39 @@ type Fabric struct {
 
 // NewFabric creates an empty fabric on the given simulation.
 func NewFabric(sim *des.Sim, copyData bool) *Fabric {
-	return &Fabric{Sim: sim, CopyData: copyData, Counters: stats.NewCounters()}
+	f := &Fabric{Sim: sim, CopyData: copyData, Counters: stats.NewCounters()}
+	f.hot = newHotCounters(f.Counters)
+	return f
+}
+
+// hotCounters are the fabric counters incremented on every data-path work
+// request or completion. They live on the stats.Counters atomic-slot fast
+// path: the named-counter mutex would otherwise serialize each WQE against
+// telemetry sampling and cross-shard traffic at high client counts. Cold
+// events (QP errors, protection faults, injected faults) stay on the plain
+// named path. Snapshot output is unchanged — slots merge into the same
+// sorted listing and never-fired names stay absent.
+type hotCounters struct {
+	opSend, bytesSend   *stats.Slot
+	opWrite, bytesWrite *stats.Slot
+	opRead, bytesRead   *stats.Slot
+	wqeFlushed          *stats.Slot
+	rnr                 *stats.Slot
+	cqeDropped          *stats.Slot
+}
+
+func newHotCounters(c *stats.Counters) hotCounters {
+	return hotCounters{
+		opSend:     c.Slot("op.send"),
+		bytesSend:  c.Slot("bytes.send"),
+		opWrite:    c.Slot("op.write"),
+		bytesWrite: c.Slot("bytes.write"),
+		opRead:     c.Slot("op.read"),
+		bytesRead:  c.Slot("bytes.read"),
+		wqeFlushed: c.Slot("wqe.flushed"),
+		rnr:        c.Slot("rnr"),
+		cqeDropped: c.Slot("cqe.dropped"),
+	}
 }
 
 // NodeConfig sizes one host and its HCA.

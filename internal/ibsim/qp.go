@@ -147,7 +147,7 @@ func (cq *CQ) Close() {
 
 func (cq *CQ) post(c *CQE) {
 	if cq.closed {
-		cq.node.fab.Counters.Inc("cqe.dropped")
+		cq.node.fab.hot.cqeDropped.Inc()
 		return
 	}
 	fab := cq.node.fab
@@ -469,7 +469,7 @@ func (q *QP) complete(w *SendWQE, err error, bytes int) {
 // (so nothing orders a later Send against Read data — the reason the
 // Read-Read server must block).
 func (q *QP) engine(p *des.Proc) {
-	ctr := q.node.fab.Counters
+	ctr := &q.node.fab.hot
 	for {
 		v, ok := q.sq.Get(p)
 		if !ok {
@@ -482,7 +482,7 @@ func (q *QP) engine(p *des.Proc) {
 			}
 		}
 		if q.errSt != nil {
-			ctr.Inc("wqe.flushed")
+			ctr.wqeFlushed.Inc()
 			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
 			continue
 		}
@@ -513,16 +513,16 @@ func (q *QP) dmaSpan(p *des.Proc, w *SendWQE, size int, fn func()) {
 }
 
 func (q *QP) launchSend(p *des.Proc, w *SendWQE) {
-	ctr := q.node.fab.Counters
+	ctr := &q.node.fab.hot
 	peer := q.peerFor(w.Stream)
 	if peer == nil {
-		ctr.Inc("wqe.flushed")
+		ctr.wqeFlushed.Inc()
 		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
 		return
 	}
 	size := len(w.Payload)
-	ctr.Inc("op.send")
-	ctr.Add("bytes.send", int64(size))
+	ctr.opSend.Inc()
+	ctr.bytesSend.Add(int64(size))
 	q.dmaSpan(p, w, size, func() { transfer(p, q.node, peer.node, size) })
 	s := q.node.fab.Sim
 	lat := latency(q.node, peer.node)
@@ -537,7 +537,7 @@ func (q *QP) launchSend(p *des.Proc, w *SendWQE) {
 // detach between retries, in which case the send flushes instead of landing
 // on a recycled slot.
 func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
-	ctr := q.node.fab.Counters
+	ctr := &q.node.fab.hot
 	s := q.node.fab.Sim
 	if q.errSt != nil {
 		q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
@@ -545,7 +545,7 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 	}
 	peer := q.peerFor(w.Stream)
 	if peer == nil {
-		ctr.Inc("wqe.flushed")
+		ctr.wqeFlushed.Inc()
 		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
 		return
 	}
@@ -555,7 +555,7 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 	}
 	r := peer.takeRecv()
 	if r == nil {
-		ctr.Inc("rnr")
+		ctr.rnr.Inc()
 		if w.seq != 0 {
 			if tr := s.Tracer(); tr != nil {
 				tr.Instant(int64(dp.Now()), trace.LayerIbsim, trace.KindRNR, q.track, w.Op.String(), w.seq, int64(attempt))
@@ -600,16 +600,16 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 }
 
 func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
-	ctr := q.node.fab.Counters
+	ctr := &q.node.fab.hot
 	peer := q.peerFor(w.Stream)
 	if peer == nil {
-		ctr.Inc("wqe.flushed")
+		ctr.wqeFlushed.Inc()
 		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
 		return
 	}
 	size := w.Size()
-	ctr.Inc("op.write")
-	ctr.Add("bytes.write", int64(size))
+	ctr.opWrite.Inc()
+	ctr.bytesWrite.Add(int64(size))
 	q.dmaSpan(p, w, size, func() { transfer(p, q.node, peer.node, size) })
 	s := q.node.fab.Sim
 	lat := latency(q.node, peer.node)
@@ -619,19 +619,19 @@ func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
 		// re-resolved so a write to a detached endpoint flushes too rather
 		// than landing in a recycled slot.
 		if q.errSt != nil {
-			ctr.Inc("wqe.flushed")
+			ctr.wqeFlushed.Inc()
 			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
 			return
 		}
 		peer := q.peerFor(w.Stream)
 		if peer == nil || peer.errSt != nil {
-			ctr.Inc("wqe.flushed")
+			ctr.wqeFlushed.Inc()
 			q.complete(w, fmt.Errorf("%w: flushed", ErrQPError), 0)
 			return
 		}
 		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteWrite)
 		if err != nil {
-			ctr.Inc("protection_error")
+			q.node.fab.Counters.Inc("protection_error")
 			q.setError(err)
 			q.complete(w, err, 0)
 			return
@@ -645,16 +645,16 @@ func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
 }
 
 func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
-	ctr := q.node.fab.Counters
+	ctr := &q.node.fab.hot
 	peer := q.peerFor(w.Stream)
 	if peer == nil {
-		ctr.Inc("wqe.flushed")
+		ctr.wqeFlushed.Inc()
 		q.complete(w, fmt.Errorf("%w: stale stream: flushed", ErrQPError), 0)
 		return
 	}
 	size := w.Size()
-	ctr.Inc("op.read")
-	ctr.Add("bytes.read", int64(size))
+	ctr.opRead.Inc()
+	ctr.bytesRead.Add(int64(size))
 	// ORD throttling: a Read that cannot get a slot stalls the send queue
 	// head (strict in-order initiation), serializing everything behind it.
 	// On a mux QP the ORD slots are shared across every endpoint — the
@@ -671,21 +671,21 @@ func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
 	lat := latency(q.node, peer.node)
 	s.SpawnAt(s.Now()+des.Time(lat), "read-responder", func(rp *des.Proc) {
 		if q.errSt != nil {
-			ctr.Inc("wqe.flushed")
+			ctr.wqeFlushed.Inc()
 			q.ord.Release(1)
 			q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
 			return
 		}
 		peer := q.peerFor(w.Stream)
 		if peer == nil || peer.errSt != nil {
-			ctr.Inc("wqe.flushed")
+			ctr.wqeFlushed.Inc()
 			q.ord.Release(1)
 			q.complete(w, fmt.Errorf("%w: flushed", ErrQPError), 0)
 			return
 		}
 		mr, err := peer.node.HCA.lookup(w.RemoteKey, w.RemoteAddr, size, AccessRemoteRead)
 		if err != nil {
-			ctr.Inc("protection_error")
+			q.node.fab.Counters.Inc("protection_error")
 			s.SpawnAt(s.Now()+des.Time(lat), "read-nak", func(*des.Proc) {
 				q.setError(err)
 				q.ord.Release(1)
@@ -698,7 +698,7 @@ func (q *QP) launchRead(p *des.Proc, w *SendWQE) {
 		transferExtra(rp, peer.node, q.node, size, peer.node.cfg.ReadResponseOverhead)
 		s.SpawnAt(s.Now()+des.Time(lat), "read-data", func(*des.Proc) {
 			if q.errSt != nil {
-				ctr.Inc("wqe.flushed")
+				ctr.wqeFlushed.Inc()
 				q.ord.Release(1)
 				q.complete(w, fmt.Errorf("%w: flushed", q.errSt), 0)
 				return

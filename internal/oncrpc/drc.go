@@ -125,6 +125,20 @@ func (d *Dispatcher) DropDRC() {
 	}
 }
 
+// DRCEntries returns the total cached or executing entries across all
+// client replay windows, zero without a DRC. A sum over clients is
+// iteration-order independent, so telemetry sampling it stays deterministic.
+func (d *Dispatcher) DRCEntries() int {
+	if d.drc == nil {
+		return 0
+	}
+	n := 0
+	for _, cl := range d.drc.clients {
+		n += len(cl.entries)
+	}
+	return n
+}
+
 // DRCInProgressDrops returns how many retransmissions were dropped because
 // their original call was still executing.
 func (d *Dispatcher) DRCInProgressDrops() int64 {

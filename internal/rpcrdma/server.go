@@ -183,6 +183,60 @@ func (s *ServerTransport) Close() {
 // LiveConns returns the number of accepted, not-yet-dead connections.
 func (s *ServerTransport) LiveConns() int { return s.liveConns }
 
+// SRQAvailTotal returns free receive slots summed across shard SRQs, zero
+// for unsharded designs (per-connection receive rings). Allocation-free:
+// telemetry probes call it every sample tick.
+func (s *ServerTransport) SRQAvailTotal() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.srq.Avail()
+	}
+	return n
+}
+
+// SRQPostedTotal returns cumulative successful SRQ PostRecv calls across
+// shards.
+func (s *ServerTransport) SRQPostedTotal() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.srq.Posted
+	}
+	return n
+}
+
+// SRQStarvedTotal returns cumulative SRQ takes that found the pool empty
+// (RNR at the QP) across shards.
+func (s *ServerTransport) SRQStarvedTotal() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.srq.Starved
+	}
+	return n
+}
+
+// MuxEndpointsTotal returns live multiplexed endpoints summed across shards
+// (zero when clients get dedicated QPs).
+func (s *ServerTransport) MuxEndpointsTotal() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.eps)
+	}
+	return n
+}
+
+// ShardEndpoints returns live endpoints (multiplexed mode) or connections
+// (dedicated QPs) attached to shard i, zero when i is out of range.
+func (s *ServerTransport) ShardEndpoints(i int) int {
+	if i < 0 || i >= len(s.shards) {
+		return 0
+	}
+	sh := s.shards[i]
+	if sh.eps != nil {
+		return len(sh.eps)
+	}
+	return len(sh.conns)
+}
+
 // Shutdown models the transport side of a server crash at the current
 // virtual instant: every live connection's QP is terminated (peers observe
 // the death on their own queue pairs and reconnect through recovery), every
@@ -397,15 +451,21 @@ func (s *ServerTransport) handleDone(p *des.Proc, conn *serverConn, xid uint32) 
 
 // handle wraps the real handler in a serve span while tracing. wcpu is the
 // worker's CPU placement for the affinity model (-1 when not modelled).
+// Serve spans land on the connection's shard track when sharded, so the
+// exported trace shows per-shard dispatch balance as separate rows.
 func (s *ServerTransport) handle(p *des.Proc, task *serverTask, wcpu int) {
 	tr := s.node.Sim().Tracer()
 	if tr == nil {
 		s.handle1(p, task, wcpu)
 		return
 	}
+	track := s.node.Name()
+	if task.conn.shard != nil {
+		track = task.conn.shard.track
+	}
 	start := p.Now()
 	s.handle1(p, task, wcpu)
-	tr.Span(int64(start), int64(p.Now()), trace.LayerRPC, trace.KindServe, s.node.Name(),
+	tr.Span(int64(start), int64(p.Now()), trace.LayerRPC, trace.KindServe, track,
 		task.hdr.Type.String(), task.conn.traceKey(task.hdr.XID), 0)
 }
 

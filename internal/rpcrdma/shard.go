@@ -23,6 +23,10 @@ type serverShard struct {
 	workQ *des.Queue
 	conns map[*ibsim.QP]*serverConn
 
+	// track is the shard's trace track ("<node>/shard<i>"): serve spans land
+	// on per-shard rows so a trace viewer shows dispatch balance directly.
+	track string
+
 	// Multiplexed mode: the shard owns one shared QP that every client on it
 	// attaches a lightweight endpoint to, and eps demultiplexes arrivals by
 	// CQE stream id. muxQP is nil when clients get dedicated QPs.
@@ -51,6 +55,7 @@ func newServerShard(s *ServerTransport, id int) *serverShard {
 		workQ: des.NewQueue(node.Sim(), fmt.Sprintf("%s/shard%d/workq", node.Name(), id)),
 		conns: make(map[*ibsim.QP]*serverConn),
 		cpuID: node.CPU.PinFor(id),
+		track: fmt.Sprintf("%s/shard%d", node.Name(), id),
 	}
 	sh.srq = ibsim.NewSRQ(node, fmt.Sprintf("%s/shard%d/srq", node.Name(), id),
 		ibsim.SRQConfig{Depth: s.cfg.SRQDepth, Limit: s.cfg.SRQLimit})

@@ -33,3 +33,116 @@ func TestSnapshotSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestSlotSnapshotByteIdentical is the regression contract for the atomic
+// fast path: a counter set where some names live on pre-registered slots and
+// some on the mutex map must render exactly the same Snapshot — same names,
+// same sorted order, same values — as a plain set fed the same increments.
+func TestSlotSnapshotByteIdentical(t *testing.T) {
+	type op struct {
+		name  string
+		delta int64
+	}
+	ops := []op{
+		{"op.send", 3}, {"bytes.send", 4096}, {"qp.error", 1},
+		{"op.send", 2}, {"rnr", 1}, {"bytes.send", 512},
+		{"wqe.flushed", 7}, {"fault.injected", 2}, {"op.read", 9},
+	}
+	plain := NewCounters()
+	slotted := NewCounters()
+	// Pre-register a mix: some before any writes, one after (migration),
+	// one that never fires (must stay out of the snapshot).
+	slotted.Slot("op.send")
+	slotted.Slot("bytes.send")
+	slotted.Slot("never.fired")
+	for i, o := range ops {
+		plain.Add(o.name, o.delta)
+		slotted.Add(o.name, o.delta)
+		if i == 4 {
+			// Migrate a name that already accumulated through the mutex map.
+			slotted.Slot("rnr")
+		}
+	}
+	a, b := plain.Snapshot(), slotted.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("snapshot lengths differ: plain=%v slotted=%v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("snapshot[%d] differs: plain=%+v slotted=%+v", i, a[i], b[i])
+		}
+	}
+	for _, cv := range a {
+		if got := slotted.Get(cv.Name); got != cv.Value {
+			t.Fatalf("Get(%q)=%d, want %d", cv.Name, got, cv.Value)
+		}
+	}
+}
+
+// TestSlotMigrationAndReset pins the slot lifecycle: registration migrates
+// the accumulated mutex-map value, re-registration returns the same slot,
+// and Reset zeroes slots and hides never-rewritten names from Snapshot.
+func TestSlotMigrationAndReset(t *testing.T) {
+	c := NewCounters()
+	c.Add("hot", 41)
+	s := c.Slot("hot")
+	if s.Load() != 41 {
+		t.Fatalf("migrated slot = %d, want 41", s.Load())
+	}
+	s.Inc()
+	if got := c.Get("hot"); got != 42 {
+		t.Fatalf("Get after slot Inc = %d, want 42", got)
+	}
+	if again := c.Slot("hot"); again != s {
+		t.Fatalf("re-registration returned a different slot")
+	}
+	c.Add("cold", 5)
+	c.Reset()
+	if got := c.Get("hot"); got != 0 {
+		t.Fatalf("Get after Reset = %d, want 0", got)
+	}
+	if snap := c.Snapshot(); len(snap) != 0 {
+		t.Fatalf("Snapshot after Reset = %v, want empty", snap)
+	}
+	// The held slot pointer keeps working after Reset.
+	s.Add(3)
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0] != (CounterValue{Name: "hot", Value: 3}) {
+		t.Fatalf("Snapshot after post-Reset Add = %v", snap)
+	}
+}
+
+// TestSlotConcurrent exercises the fast path from many goroutines under the
+// race detector: concurrent Add on slotted and unslotted names, mid-flight
+// registration, and Snapshot readers.
+func TestSlotConcurrent(t *testing.T) {
+	c := NewCounters()
+	hot := c.Slot("hot")
+	const workers, n = 8, 1000
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < n; i++ {
+				hot.Inc()
+				c.Add("hot", 1)
+				c.Add("cold", 1)
+				if i == n/2 && w == 0 {
+					c.Slot("cold")
+				}
+				if i%100 == 0 {
+					c.Snapshot()
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got := c.Get("hot"); got != 2*workers*n {
+		t.Fatalf("hot = %d, want %d", got, 2*workers*n)
+	}
+	if got := c.Get("cold"); got != workers*n {
+		t.Fatalf("cold = %d, want %d", got, workers*n)
+	}
+}

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Finding is one detector verdict anchored to a virtual-time window of the
+// run. Detectors are pure functions of a Report's series, so findings are
+// byte-identical across same-seed runs.
+type Finding struct {
+	Detector string  `json:"detector"`
+	Series   string  `json:"series,omitempty"`
+	StartS   float64 `json:"start_s"`
+	EndS     float64 `json:"end_s"`
+	Value    float64 `json:"value"`
+	Detail   string  `json:"detail"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%-16s t=[%.6fs, %.6fs]  %s", f.Detector, f.StartS, f.EndS, f.Detail)
+}
+
+// Knee-onset detection constants. Onset is declared at the first sample
+// from which kneeSustain consecutive windows all show p99 at least
+// kneeRiseRatio times the early-run baseline while in-flight requests sit
+// within kneePlateauRatio of their run maximum — the open-loop signature of
+// a server past its knee: latency climbing because queues, not load, grow.
+const (
+	kneeRiseRatio    = 2.0
+	kneePlateauRatio = 0.6
+	kneeSustain      = 3
+)
+
+// median returns the median of vs (0 for an empty slice). vs is copied.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// DetectKneeOnset walks a windowed p99 series against an in-flight gauge
+// and reports the saturation-knee onset time: sustained p99 rise over the
+// early-run baseline coinciding with an in-flight plateau. Returns false
+// when the run never saturates (or is too short to judge).
+func (r *Report) DetectKneeOnset(p99Name, inflightName string) (Finding, bool) {
+	p99 := r.Get(p99Name)
+	infl := r.Get(inflightName)
+	if p99 == nil || infl == nil || len(r.TimesS) < 2*kneeSustain {
+		return Finding{}, false
+	}
+	n := len(r.TimesS)
+
+	// Baseline: median of the positive p99 samples in the first quarter of
+	// the run (the pre-knee service latency). A run that saturates from the
+	// first window has no quiet quarter; fall back to the smallest positive
+	// sample so onset is still reportable.
+	q := n / 4
+	if q < 2 {
+		q = 2
+	}
+	var early []float64
+	for j := 0; j < q && j < n; j++ {
+		if v, ok := p99.at(j); ok && v > 0 {
+			early = append(early, v)
+		}
+	}
+	baseline := median(early)
+	if baseline == 0 {
+		for j := 0; j < n; j++ {
+			if v, ok := p99.at(j); ok && v > 0 && (baseline == 0 || v < baseline) {
+				baseline = v
+			}
+		}
+	}
+	if baseline == 0 {
+		return Finding{}, false
+	}
+
+	maxInfl := 0.0
+	for j := 0; j < n; j++ {
+		if v, ok := infl.at(j); ok && v > maxInfl {
+			maxInfl = v
+		}
+	}
+	if maxInfl == 0 {
+		return Finding{}, false
+	}
+
+	saturated := func(j int) bool {
+		p, okP := p99.at(j)
+		f, okF := infl.at(j)
+		return okP && okF && p >= kneeRiseRatio*baseline && f >= kneePlateauRatio*maxInfl
+	}
+	for j := 0; j+kneeSustain <= n; j++ {
+		run := true
+		for k := j; k < j+kneeSustain; k++ {
+			if !saturated(k) {
+				run = false
+				break
+			}
+		}
+		if run {
+			p, _ := p99.at(j)
+			return Finding{
+				Detector: "knee-onset",
+				Series:   p99Name,
+				StartS:   r.TimesS[j],
+				EndS:     r.TimesS[n-1],
+				Value:    r.TimesS[j],
+				Detail: fmt.Sprintf("sustained p99 rise with inflight plateau (baseline %.6gµs, p99 %.6gµs, inflight >= %.6g)",
+					baseline, p, kneePlateauRatio*maxInfl),
+			}, true
+		}
+	}
+	return Finding{}, false
+}
+
+// DetectAboveThreshold reports every window where the named series sat at
+// or above threshold for at least minRun consecutive samples — the
+// starvation-window primitive (SRQ starvation via a starved-rate series,
+// credit starvation via an occupancy gauge).
+func (r *Report) DetectAboveThreshold(detector, seriesName string, threshold float64, minRun int) []Finding {
+	sd := r.Get(seriesName)
+	if sd == nil {
+		return nil
+	}
+	if minRun < 1 {
+		minRun = 1
+	}
+	var out []Finding
+	n := len(r.TimesS)
+	for j := 0; j < n; {
+		v, ok := sd.at(j)
+		if !ok || v < threshold {
+			j++
+			continue
+		}
+		start := j
+		peak := v
+		for j < n {
+			v, ok = sd.at(j)
+			if !ok || v < threshold {
+				break
+			}
+			if v > peak {
+				peak = v
+			}
+			j++
+		}
+		if j-start >= minRun {
+			out = append(out, Finding{
+				Detector: detector,
+				Series:   seriesName,
+				StartS:   r.TimesS[start],
+				EndS:     r.TimesS[j-1],
+				Value:    peak,
+				Detail: fmt.Sprintf("%s >= %.6g for %d windows (peak %.6g)",
+					seriesName, threshold, j-start, peak),
+			})
+		}
+	}
+	return out
+}
+
+// DetectSLOBurn reports the fraction of sampled windows whose p99 exceeded
+// budgetUS. Windows before the series registered are excluded; a zero-burn
+// run yields no finding.
+func (r *Report) DetectSLOBurn(p99Name string, budgetUS float64) (Finding, bool) {
+	sd := r.Get(p99Name)
+	if sd == nil || len(sd.Values) == 0 {
+		return Finding{}, false
+	}
+	over := 0
+	for _, v := range sd.Values {
+		if v > budgetUS {
+			over++
+		}
+	}
+	if over == 0 {
+		return Finding{}, false
+	}
+	frac := float64(over) / float64(len(sd.Values))
+	n := len(r.TimesS)
+	return Finding{
+		Detector: "slo-burn",
+		Series:   p99Name,
+		StartS:   r.TimesS[0],
+		EndS:     r.TimesS[n-1],
+		Value:    frac,
+		Detail: fmt.Sprintf("p99 over %.6gµs budget in %d/%d windows (%.1f%%)",
+			budgetUS, over, len(sd.Values), frac*100),
+	}, true
+}
+
+// FaultWindow is one injected fault's span of virtual time, in seconds
+// (Start == End for instantaneous faults like QP kills and link flaps).
+// The chaos schedule converts to this form so telemetry stays independent
+// of the chaos package.
+type FaultWindow struct {
+	Name   string
+	StartS float64
+	EndS   float64
+}
+
+// recoveredRatio is the fraction of the pre-fault baseline rate at which a
+// post-fault window counts as recovered.
+const recoveredRatio = 0.5
+
+// AnnotateFaults overlays fault windows on an op-rate series and measures
+// each fault's recovery time: from fault onset until the rate first returns
+// to recoveredRatio of its pre-fault baseline at or after the fault clears.
+// A fault the run never recovers from is annotated with Value -1. One
+// finding is emitted per fault, in schedule order.
+func (r *Report) AnnotateFaults(faults []FaultWindow, rateSeries string) []Finding {
+	sd := r.Get(rateSeries)
+	if sd == nil || len(r.TimesS) == 0 {
+		return nil
+	}
+	n := len(r.TimesS)
+	var out []Finding
+	for _, f := range faults {
+		// Baseline: median positive rate before the fault hit.
+		var pre []float64
+		for j := 0; j < n && r.TimesS[j] < f.StartS; j++ {
+			if v, ok := sd.at(j); ok && v > 0 {
+				pre = append(pre, v)
+			}
+		}
+		baseline := median(pre)
+		if baseline == 0 {
+			// Fault before the workload produced anything measurable: fall
+			// back to the whole run's median so early faults still annotate.
+			var all []float64
+			for j := 0; j < n; j++ {
+				if v, ok := sd.at(j); ok && v > 0 {
+					all = append(all, v)
+				}
+			}
+			baseline = median(all)
+		}
+		fd := Finding{
+			Detector: "chaos-recovery",
+			Series:   rateSeries,
+			StartS:   f.StartS,
+			EndS:     r.TimesS[n-1],
+			Value:    -1,
+			Detail:   fmt.Sprintf("%s: not recovered within the sampled run", f.Name),
+		}
+		if baseline > 0 {
+			for j := 0; j < n; j++ {
+				if r.TimesS[j] < f.EndS {
+					continue
+				}
+				if v, ok := sd.at(j); ok && v >= recoveredRatio*baseline {
+					fd.EndS = r.TimesS[j]
+					fd.Value = fd.EndS - f.StartS
+					fd.Detail = fmt.Sprintf("%s: recovered in %.6fs (rate %.6g >= %.6g)",
+						f.Name, fd.Value, v, recoveredRatio*baseline)
+					break
+				}
+			}
+		}
+		out = append(out, fd)
+	}
+	return out
+}

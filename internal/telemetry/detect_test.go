@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// synthReport builds a report with n samples at 100µs spacing and the given
+// named series, all starting at index 0.
+func synthReport(n int, series map[string][]float64) *Report {
+	r := &Report{IntervalUS: 100}
+	for j := 0; j < n; j++ {
+		r.TimesS = append(r.TimesS, float64(j)*100e-6)
+	}
+	// Deterministic order: fixed list keeps tests stable regardless of map
+	// iteration.
+	for _, name := range []string{"p99", "inflight", "rate", "occ"} {
+		if vals, ok := series[name]; ok {
+			r.Series = append(r.Series, SeriesData{Name: name, Kind: "gauge", Values: vals})
+		}
+	}
+	return r
+}
+
+func TestDetectKneeOnset(t *testing.T) {
+	// 16 windows: quiet p99 ~100µs for 8, then a sustained jump to 400µs
+	// while inflight plateaus at its max.
+	p99 := make([]float64, 16)
+	infl := make([]float64, 16)
+	for j := 0; j < 16; j++ {
+		if j < 8 {
+			p99[j] = 100
+			infl[j] = 10
+		} else {
+			p99[j] = 400
+			infl[j] = 100
+		}
+	}
+	r := synthReport(16, map[string][]float64{"p99": p99, "inflight": infl})
+	f, ok := r.DetectKneeOnset("p99", "inflight")
+	if !ok {
+		t.Fatal("knee not detected")
+	}
+	if f.Detector != "knee-onset" || f.StartS != r.TimesS[8] || f.Value != r.TimesS[8] {
+		t.Fatalf("onset = %+v, want start at sample 8 (%.6fs)", f, r.TimesS[8])
+	}
+}
+
+func TestDetectKneeOnsetQuietRun(t *testing.T) {
+	// Flat p99, inflight never plateaus relative to its max rise: no knee.
+	p99 := make([]float64, 16)
+	infl := make([]float64, 16)
+	for j := 0; j < 16; j++ {
+		p99[j] = 100
+		infl[j] = float64(j)
+	}
+	r := synthReport(16, map[string][]float64{"p99": p99, "inflight": infl})
+	if f, ok := r.DetectKneeOnset("p99", "inflight"); ok {
+		t.Fatalf("knee detected on a quiet run: %+v", f)
+	}
+}
+
+func TestDetectKneeOnsetShortSpike(t *testing.T) {
+	// A 2-window spike must not trip the kneeSustain=3 requirement.
+	p99 := []float64{100, 100, 100, 100, 100, 100, 400, 400, 100, 100, 100, 100}
+	infl := []float64{50, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50, 50}
+	r := synthReport(12, map[string][]float64{"p99": p99, "inflight": infl})
+	if f, ok := r.DetectKneeOnset("p99", "inflight"); ok {
+		t.Fatalf("knee detected on a 2-window spike: %+v", f)
+	}
+}
+
+func TestDetectAboveThreshold(t *testing.T) {
+	occ := []float64{0, 0, 0.95, 0.97, 1.0, 0.2, 0, 0.96, 0, 0.99, 0.99, 0.99}
+	r := synthReport(12, map[string][]float64{"occ": occ})
+	fs := r.DetectAboveThreshold("credit-starve", "occ", 0.95, 2)
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(fs), fs)
+	}
+	if fs[0].StartS != r.TimesS[2] || fs[0].EndS != r.TimesS[4] || fs[0].Value != 1.0 {
+		t.Fatalf("first window = %+v", fs[0])
+	}
+	if fs[1].StartS != r.TimesS[9] || fs[1].EndS != r.TimesS[11] {
+		t.Fatalf("second window = %+v", fs[1])
+	}
+}
+
+func TestDetectSLOBurn(t *testing.T) {
+	p99 := []float64{100, 100, 300, 300, 100, 300, 100, 100}
+	r := synthReport(8, map[string][]float64{"p99": p99})
+	f, ok := r.DetectSLOBurn("p99", 200)
+	if !ok {
+		t.Fatal("no SLO burn finding")
+	}
+	if f.Value != 3.0/8.0 {
+		t.Fatalf("burn fraction = %v, want 0.375", f.Value)
+	}
+	if _, ok := r.DetectSLOBurn("p99", 1000); ok {
+		t.Fatal("burn reported under a generous budget")
+	}
+}
+
+func TestAnnotateFaults(t *testing.T) {
+	// Rate: healthy 100/s, crash at sample 6 drops to 0 until sample 10,
+	// recovers to 80 after.
+	rate := []float64{100, 100, 100, 100, 100, 100, 0, 0, 0, 0, 80, 90, 100, 100}
+	r := synthReport(14, map[string][]float64{"rate": rate})
+	faults := []FaultWindow{
+		{Name: "crash srv", StartS: r.TimesS[6], EndS: r.TimesS[9]},
+		{Name: "qperr late", StartS: r.TimesS[13], EndS: r.TimesS[13] + 1},
+	}
+	fs := r.AnnotateFaults(faults, "rate")
+	if len(fs) != 2 {
+		t.Fatalf("got %d findings, want 2", len(fs))
+	}
+	// First fault: recovery at sample 10 (first rate >= 50 at/after EndS).
+	want := r.TimesS[10] - r.TimesS[6]
+	if fs[0].Value != want {
+		t.Fatalf("recovery duration = %v, want %v (%+v)", fs[0].Value, want, fs[0])
+	}
+	if !strings.Contains(fs[0].Detail, "recovered in") {
+		t.Fatalf("detail = %q", fs[0].Detail)
+	}
+	// Second fault window extends past the run: unrecovered.
+	if fs[1].Value != -1 || !strings.Contains(fs[1].Detail, "not recovered") {
+		t.Fatalf("late fault = %+v, want unrecovered", fs[1])
+	}
+}
+
+func TestDetectorsMissingSeries(t *testing.T) {
+	r := synthReport(8, map[string][]float64{})
+	if _, ok := r.DetectKneeOnset("p99", "inflight"); ok {
+		t.Fatal("knee on empty report")
+	}
+	if fs := r.DetectAboveThreshold("x", "occ", 1, 1); fs != nil {
+		t.Fatal("threshold findings on empty report")
+	}
+	if _, ok := r.DetectSLOBurn("p99", 1); ok {
+		t.Fatal("SLO burn on empty report")
+	}
+	if fs := r.AnnotateFaults([]FaultWindow{{Name: "f"}}, "rate"); fs != nil {
+		t.Fatal("fault annotation on empty report")
+	}
+}

@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+// TestNilEngineIsDisabled pins the nil-receiver contract: every method of a
+// nil engine (and the nil windows/series it hands out) is a no-op.
+func TestNilEngineIsDisabled(t *testing.T) {
+	var e *Engine
+	if e.Interval() != 0 || e.Samples() != 0 {
+		t.Fatal("nil engine reported non-zero state")
+	}
+	if s := e.Gauge("x", func() float64 { return 1 }); s != nil {
+		t.Fatal("nil engine returned a series")
+	}
+	if s := e.Counter("x", func() float64 { return 1 }); s != nil {
+		t.Fatal("nil engine returned a series")
+	}
+	w := e.LatencyWindow("x")
+	if w != nil {
+		t.Fatal("nil engine returned a window")
+	}
+	w.Observe(5) // must not panic
+	e.Stop()
+	r := e.Report()
+	if len(r.TimesS) != 0 || len(r.Series) != 0 {
+		t.Fatal("nil engine produced samples")
+	}
+	if got := r.Dashboard(); !strings.Contains(got, "no samples") {
+		t.Fatalf("empty dashboard = %q", got)
+	}
+}
+
+// TestSamplingGaugeAndRate drives a sim where a counter advances at a known
+// rate and checks the gauge and rate series against the arithmetic.
+func TestSamplingGaugeAndRate(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	var counter, level float64
+	e.Counter("test.counter", func() float64 { return counter })
+	e.Gauge("test.level", func() float64 { return level })
+	sim.Spawn("driver", func(p *des.Proc) {
+		e.Start(p)
+		for i := 0; i < 5; i++ {
+			p.Sleep(10 * time.Microsecond)
+			counter += 100 // 100 per 10µs = 1e7/s
+			level = float64(i + 1)
+		}
+		p.Sleep(time.Microsecond)
+		e.Stop()
+	})
+	sim.Run()
+
+	r := e.Report()
+	if len(r.TimesS) < 6 {
+		t.Fatalf("got %d samples, want >= 6", len(r.TimesS))
+	}
+	rate := r.Get("test.counter")
+	if rate == nil {
+		t.Fatal("rate series missing")
+	}
+	// First sample is the baseline (rate 0); interior samples see 100 per
+	// 10µs = 1e7/s. Tick ordering at the shared instants is deterministic
+	// (sampler sleeps were scheduled before the driver's), so the sampler
+	// reads the counter before the driver bumps it — the exact phase does
+	// not matter here, only that steady-state windows report 1e7/s.
+	if got := rate.Values[0]; got != 0 {
+		t.Fatalf("baseline rate = %v, want 0", got)
+	}
+	saw := false
+	for _, v := range rate.Values[1:] {
+		if v > 0.99e7 && v < 1.01e7 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatalf("no steady-state window at 1e7/s: %v", rate.Values)
+	}
+	lvl := r.Get("test.level")
+	if lvl == nil || lvl.Values[len(lvl.Values)-1] != 5 {
+		t.Fatalf("gauge tail = %v, want 5", lvl.Values)
+	}
+}
+
+// TestRateCounterReset checks that a cumulative probe dropping to zero (a
+// server restart wiping its counters) restarts the baseline instead of
+// producing a negative rate.
+func TestRateCounterReset(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	var counter float64
+	e.Counter("test.counter", func() float64 { return counter })
+	sim.Spawn("driver", func(p *des.Proc) {
+		e.Start(p)
+		counter = 500
+		p.Sleep(10*time.Microsecond + time.Nanosecond)
+		counter = 40 // reset + 40 new events
+		p.Sleep(10 * time.Microsecond)
+		e.Stop()
+	})
+	sim.Run()
+	for _, v := range e.Report().Get("test.counter").Values {
+		if v < 0 {
+			t.Fatalf("negative rate after counter reset: %v", v)
+		}
+	}
+}
+
+// TestRingWrap keeps only the newest capacity samples and keeps times and
+// values aligned across the wrap.
+func TestRingWrap(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond, Capacity: 4})
+	// Probe the virtual clock itself: after the wrap, each retained value
+	// must equal its own sample time, proving times and values stay aligned.
+	e.Gauge("test.clock_s", func() float64 { return sim.Now().Seconds() })
+	sim.Spawn("driver", func(p *des.Proc) {
+		e.Start(p)
+		p.Sleep(90 * time.Microsecond)
+		e.Stop()
+	})
+	sim.Run()
+	r := e.Report()
+	if len(r.TimesS) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(r.TimesS))
+	}
+	if r.TimesS[0] == 0 {
+		t.Fatalf("oldest samples not evicted: times=%v", r.TimesS)
+	}
+	sd := r.Get("test.clock_s")
+	for i, ts := range r.TimesS {
+		if v, ok := sd.at(i); !ok || v != ts {
+			t.Fatalf("sample %d: value %v misaligned with time %v", i, v, ts)
+		}
+	}
+}
+
+// TestLatencyWindow checks the per-interval quantile series and that the
+// window resets between ticks.
+func TestLatencyWindow(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	var w *Window
+	sim.Spawn("driver", func(p *des.Proc) {
+		w = e.LatencyWindow("lat")
+		e.Start(p)
+		for i := 0; i < 3; i++ {
+			// Window i observes latencies around 100*(i+1) µs. Sleep a hair
+			// past the sampling interval so each tick sees exactly one batch
+			// (at a shared instant the driver runs before the sampler and
+			// would merge adjacent batches).
+			for k := 0; k < 10; k++ {
+				w.Observe(100 * float64(i+1))
+			}
+			p.Sleep(10*time.Microsecond + 10*time.Nanosecond)
+		}
+		e.Stop()
+	})
+	sim.Run()
+	r := e.Report()
+	p99 := r.Get("lat.p99_us")
+	rate := r.Get("lat.rate")
+	if p99 == nil || rate == nil {
+		t.Fatal("window series missing")
+	}
+	// Baseline sample at t=0 sees an empty window (Start samples before the
+	// driver observes); each subsequent tick sees exactly one batch.
+	var distinct []float64
+	for _, v := range p99.Values {
+		if v > 0 && (len(distinct) == 0 || distinct[len(distinct)-1] != v) {
+			distinct = append(distinct, v)
+		}
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("windows did not reset between ticks: p99=%v", p99.Values)
+	}
+	for i := 1; i < len(distinct); i++ {
+		if distinct[i] <= distinct[i-1] {
+			t.Fatalf("p99 windows out of order: %v", distinct)
+		}
+	}
+	saw := false
+	for _, v := range rate.Values {
+		if v > 0.99e6 && v < 1.01e6 { // 10 obs / 10µs = 1e6/s
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatalf("window rate never hit 1e6/s: %v", rate.Values)
+	}
+}
+
+// runDeterministic builds one engine over a canned sim and returns its
+// CSV, JSON and dashboard bytes.
+func runDeterministic(t *testing.T) (string, string, string) {
+	t.Helper()
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	var counter float64
+	var w *Window
+	e.Counter("test.counter", func() float64 { return counter })
+	sim.Spawn("driver", func(p *des.Proc) {
+		w = e.LatencyWindow("lat")
+		e.Start(p)
+		for i := 0; i < 6; i++ {
+			counter += float64(10 * (i + 1))
+			w.Observe(float64(50 * (i + 1)))
+			p.Sleep(10 * time.Microsecond)
+		}
+		e.Stop()
+	})
+	sim.Run()
+	r := e.Report()
+	r.Findings = append(r.Findings, r.DetectAboveThreshold("hot", "test.counter", 1, 1)...)
+	var csv, js bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String(), js.String(), r.Dashboard()
+}
+
+// TestExportDeterminism pins byte-identical CSV/JSON/dashboard output for
+// identical runs.
+func TestExportDeterminism(t *testing.T) {
+	c1, j1, d1 := runDeterministic(t)
+	c2, j2, d2 := runDeterministic(t)
+	if c1 != c2 {
+		t.Fatalf("CSV differs:\n%s\n---\n%s", c1, c2)
+	}
+	if j1 != j2 {
+		t.Fatalf("JSON differs:\n%s\n---\n%s", j1, j2)
+	}
+	if d1 != d2 {
+		t.Fatalf("dashboard differs:\n%s\n---\n%s", d1, d2)
+	}
+	if !strings.HasPrefix(c1, "time_s,test.counter,lat.p50_us,lat.p99_us,lat.rate\n") {
+		t.Fatalf("CSV header = %q", strings.SplitN(c1, "\n", 2)[0])
+	}
+	if !strings.Contains(d1, "findings:") {
+		t.Fatalf("dashboard missing findings:\n%s", d1)
+	}
+}
+
+// TestLateRegistrationPadsCSV checks that a series registered mid-run gets
+// empty CSV cells before its first sample, not zeros.
+func TestLateRegistrationPadsCSV(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	e.Gauge("early", func() float64 { return 1 })
+	sim.Spawn("driver", func(p *des.Proc) {
+		e.Start(p)
+		p.Sleep(25 * time.Microsecond)
+		e.Gauge("late", func() float64 { return 2 })
+		p.Sleep(20 * time.Microsecond)
+		e.Stop()
+	})
+	sim.Run()
+	var csv bytes.Buffer
+	if err := e.Report().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few CSV rows:\n%s", csv.String())
+	}
+	first := strings.Split(lines[1], ",")
+	if first[2] != "" {
+		t.Fatalf("pre-registration cell = %q, want empty", first[2])
+	}
+	last := strings.Split(lines[len(lines)-1], ",")
+	if last[2] != "2" {
+		t.Fatalf("post-registration cell = %q, want 2", last[2])
+	}
+}
+
+// TestStopStartResumes checks that a second Start (a second measurement
+// phase on the same cluster) keeps appending to the same rings.
+func TestStopStartResumes(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	e.Gauge("g", func() float64 { return 1 })
+	sim.Spawn("driver", func(p *des.Proc) {
+		e.Start(p)
+		p.Sleep(15 * time.Microsecond)
+		e.Stop()
+		n1 := e.Samples()
+		p.Sleep(100 * time.Microsecond)
+		e.Start(p)
+		p.Sleep(15 * time.Microsecond)
+		e.Stop()
+		if e.Samples() <= n1 {
+			t.Errorf("second phase added no samples (%d -> %d)", n1, e.Samples())
+		}
+	})
+	sim.Run()
+}

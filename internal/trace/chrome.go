@@ -29,10 +29,11 @@ type chromeEvent struct {
 }
 
 type chromeArg struct {
-	Name string `json:"name,omitempty"`
-	ID   uint64 `json:"id,omitempty"`
-	Arg  int64  `json:"arg,omitempty"`
-	Kind string `json:"kind,omitempty"`
+	Name      string `json:"name,omitempty"`
+	ID        uint64 `json:"id,omitempty"`
+	Arg       int64  `json:"arg,omitempty"`
+	Kind      string `json:"kind,omitempty"`
+	SortIndex *int   `json:"sort_index,omitempty"`
 }
 
 type chromeDoc struct {
@@ -122,16 +123,29 @@ func WriteChrome(w io.Writer, events []Event) error {
 	for i := range out {
 		seenTID[[2]int{out[i].PID, out[i].TID}] = true
 	}
-	for _, t := range tracks {
+	for ti, t := range tracks {
+		// sort_index pins the viewer's row order to the sorted track names
+		// (pids are assigned in first-appearance order, which would otherwise
+		// scatter a node's shard tracks) and the layers to stack order.
+		pidx := ti + 1
 		meta = append(meta, chromeEvent{
 			Name: "process_name", Phase: "M", PID: pids[t],
 			Args: &chromeArg{Name: t},
 		})
+		meta = append(meta, chromeEvent{
+			Name: "process_sort_index", Phase: "M", PID: pids[t],
+			Args: &chromeArg{SortIndex: &pidx},
+		})
 		for l := Layer(0); l < numLayers; l++ {
 			if seenTID[[2]int{pids[t], int(l)}] {
+				tidx := int(l)
 				meta = append(meta, chromeEvent{
 					Name: "thread_name", Phase: "M", PID: pids[t], TID: int(l),
 					Args: &chromeArg{Name: l.String()},
+				})
+				meta = append(meta, chromeEvent{
+					Name: "thread_sort_index", Phase: "M", PID: pids[t], TID: int(l),
+					Args: &chromeArg{SortIndex: &tidx},
 				})
 			}
 		}

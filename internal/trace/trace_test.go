@@ -239,3 +239,86 @@ func TestCheckNoRemoteExposure(t *testing.T) {
 		t.Fatal("remote MR on client0 not flagged")
 	}
 }
+
+// chromeMetaFile decodes just enough of the export to check row metadata.
+type chromeMetaFile struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		PID  int    `json:"pid"`
+		TID  int    `json:"tid"`
+		Args struct {
+			Name      string `json:"name"`
+			SortIndex *int   `json:"sort_index"`
+		} `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestWriteChromeRowMetadata pins the viewer-readability contract: every
+// track gets a process_name plus a process_sort_index that orders rows by
+// sorted track name (keeping a node's shard tracks adjacent), and every
+// (track, layer) row seen in the data gets thread_name + thread_sort_index.
+func TestWriteChromeRowMetadata(t *testing.T) {
+	tr := New(64)
+	tr.Span(1000, 2000, LayerRPC, KindServe, "server/shard1", "WRITE", 1, 0)
+	tr.Span(1500, 2500, LayerRPC, KindServe, "server/shard0", "READ", 2, 0)
+	tr.Span(900, 1100, LayerIbsim, KindDMA, "client0/qp1", "SEND", 3, 64)
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Events()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc chromeMetaFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	procName := map[int]string{}   // pid -> track name
+	procSort := map[int]int{}      // pid -> sort_index
+	threadMeta := map[[2]int]int{} // (pid, tid) -> named+sorted count
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			continue
+		}
+		switch e.Name {
+		case "process_name":
+			procName[e.PID] = e.Args.Name
+		case "process_sort_index":
+			if e.Args.SortIndex == nil {
+				t.Fatalf("process_sort_index for pid %d has no sort_index", e.PID)
+			}
+			procSort[e.PID] = *e.Args.SortIndex
+		case "thread_name", "thread_sort_index":
+			threadMeta[[2]int{e.PID, e.TID}]++
+		}
+	}
+	want := []string{"client0/qp1", "server/shard0", "server/shard1"}
+	if len(procName) != len(want) {
+		t.Fatalf("got %d process_name events, want %d: %v", len(procName), len(want), procName)
+	}
+	// sort_index must rank the tracks alphabetically.
+	byIndex := make([]string, len(want))
+	for pid, name := range procName {
+		idx, ok := procSort[pid]
+		if !ok {
+			t.Fatalf("track %q (pid %d) has no process_sort_index", name, pid)
+		}
+		if idx < 1 || idx > len(want) {
+			t.Fatalf("track %q sort_index %d out of range", name, idx)
+		}
+		byIndex[idx-1] = name
+	}
+	for i, name := range byIndex {
+		if name != want[i] {
+			t.Fatalf("sort order %v, want %v", byIndex, want)
+		}
+	}
+	for k, n := range threadMeta {
+		if n != 2 {
+			t.Fatalf("row pid=%d tid=%d has %d of thread_name+thread_sort_index, want both", k[0], k[1], n)
+		}
+	}
+	if len(threadMeta) != 3 {
+		t.Fatalf("got %d named thread rows, want 3", len(threadMeta))
+	}
+}

@@ -91,6 +91,17 @@ func RunChaosLoad(p *des.Proc, cluster *core.Cluster, cfg ChaosLoadConfig, o Cha
 	cfg.defaults()
 	var res ChaosLoadResult
 
+	// Telemetry (nil engine when disabled): the acked-write rate is the
+	// series chaos fault windows are annotated against — it collapses during
+	// an outage and climbing back to baseline marks recovery.
+	tel := cluster.Telemetry()
+	tel.Counter("workload.writes_acked", func() float64 { return float64(res.WritesAcked) })
+	tel.Counter("workload.writes_failed", func() float64 { return float64(res.WritesFailed) })
+	tel.Counter("workload.reads_checked", func() float64 { return float64(res.ReadsChecked) })
+	tel.Counter("workload.renames_ok", func() float64 { return float64(res.RenamesOK) })
+	tel.Start(p)
+	defer tel.Stop()
+
 	files := make([]*core.File, len(cluster.Clients))
 	names := make([]string, len(cluster.Clients))
 	for ci, cl := range cluster.Clients {

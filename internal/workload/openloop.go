@@ -135,6 +135,17 @@ func RunOpenLoop(p *des.Proc, cluster *core.Cluster, cfg OpenLoopConfig) (OpenLo
 	}
 	var completedBytes int64
 
+	// Telemetry (nil engine when disabled): workload-side series alongside
+	// the cluster's layer probes, sampled over the measurement window only.
+	var totalOutstanding int
+	tel := cluster.Telemetry()
+	tel.Gauge("workload.inflight", func() float64 { return float64(totalOutstanding) })
+	tel.Counter("workload.issued", func() float64 { return float64(res.Issued) })
+	tel.Counter("workload.completed", func() float64 { return float64(res.Completed) })
+	tel.Counter("workload.dropped", func() float64 { return float64(res.Dropped) })
+	latWin := tel.LatencyWindow("workload.lat")
+	tel.Start(p)
+
 	parallel(p, "ol-gen", n, func(wp *des.Proc, i int) {
 		cl := cluster.Clients[i]
 		f := files[i]
@@ -156,6 +167,7 @@ func RunOpenLoop(p *des.Proc, cluster *core.Cluster, cfg OpenLoopConfig) (OpenLo
 				continue
 			}
 			outstanding++
+			totalOutstanding++
 			off := rng.Int63n(blocks) * int64(cfg.RecordSize)
 			var buf *core.Buffer
 			if len(free) > 0 {
@@ -172,10 +184,13 @@ func RunOpenLoop(p *des.Proc, cluster *core.Cluster, cfg OpenLoopConfig) (OpenLo
 				} else {
 					res.Completed++
 					completedBytes += int64(r)
-					res.Latency.Observe((op.Now() - t0).Micros())
+					lat := (op.Now() - t0).Micros()
+					res.Latency.Observe(lat)
+					latWin.Observe(lat)
 				}
 				free = append(free, buf)
 				outstanding--
+				totalOutstanding--
 				if genDone && outstanding == 0 {
 					drained.Fire(nil)
 				}
@@ -187,6 +202,7 @@ func RunOpenLoop(p *des.Proc, cluster *core.Cluster, cfg OpenLoopConfig) (OpenLo
 		}
 	})
 
+	tel.Stop()
 	res.Elapsed = p.Now() - start
 	res.AchievedMBps = stats.MBps(completedBytes, res.Elapsed.Seconds())
 	res.P50 = res.Latency.Quantile(0.50)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet faults trace-check scale-check chaos-check mux-check telemetry-check race-runner bench bench-record bench-compare
+.PHONY: build test check vet faults trace-check scale-check chaos-check mux-check telemetry-check rfp-check race-runner bench bench-record bench-compare
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,7 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet faults trace-check scale-check chaos-check mux-check telemetry-check
+check: vet faults trace-check scale-check chaos-check mux-check telemetry-check rfp-check
 	$(GO) test -race ./...
 
 # chaos-check runs the chaos engine under the race detector: the seeded
@@ -81,6 +81,17 @@ telemetry-check:
 	$(GO) test -race -run 'Telemetry|Detect|Sampling|Slot|Sparkline|Dashboard|Annotate|Ring|Rate|LatencyWindow|Export' \
 		./internal/telemetry/ ./internal/stats/ ./internal/workload/ \
 		./internal/experiments/ ./internal/chaos/ ./internal/core/
+
+# rfp-check runs the reply-fetch design under the race detector: the ibsim
+# doorbell write-watch primitive, the rpcrdma reply-slot deposit/fetch path
+# (no-server-Send, exposure ledger, retransmit re-arm, withheld-DONE
+# pinning), the reply-fetch chaos determinism and crash-replay runs, and a
+# three-way capacity smoke that asserts reply-fetch's server CPU per op
+# lands below both paper designs at 512 clients.
+rfp-check:
+	$(GO) test -race -run 'ReplyFetch|WatchWrite|Doorbell' \
+		./internal/ibsim/ ./internal/rpcrdma/ ./internal/chaos/
+	$(GO) test -run 'TestCapacityReplyFetchServerCPU512' ./internal/experiments/
 
 # race-runner focuses the race detector on the concurrency boundary: the
 # sweep runner and the kernel it fans out, plus the experiments package

@@ -74,17 +74,18 @@ func TestPublicWorkloadEntryPoints(t *testing.T) {
 
 func TestTransportAndModeStringers(t *testing.T) {
 	cases := map[string]string{
-		TransportRDMA.String():   "rdma",
-		TransportIPoIB.String():  "ipoib",
-		TransportGigE.String():   "gige",
-		DesignReadWrite.String(): "read-write",
-		DesignReadRead.String():  "read-read",
-		RegDynamic.String():      "register",
-		RegFMR.String():          "fmr",
-		RegAllPhysical.String():  "all-physical",
-		RegCache.String():        "cache",
-		BackendTmpfs.String():    "tmpfs",
-		BackendDisk.String():     "disk",
+		TransportRDMA.String():    "rdma",
+		TransportIPoIB.String():   "ipoib",
+		TransportGigE.String():    "gige",
+		DesignReadWrite.String():  "read-write",
+		DesignReadRead.String():   "read-read",
+		DesignReplyFetch.String(): "reply-fetch",
+		RegDynamic.String():       "register",
+		RegFMR.String():           "fmr",
+		RegAllPhysical.String():   "all-physical",
+		RegCache.String():         "cache",
+		BackendTmpfs.String():     "tmpfs",
+		BackendDisk.String():      "disk",
 	}
 	for got, want := range cases {
 		if got != want {

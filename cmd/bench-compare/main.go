@@ -7,7 +7,11 @@
 //	bench-compare -old BENCH_1.json -new BENCH_6.json [-threshold 10]
 //
 // A negative delta is a speedup. Figures present in only one record are
-// listed but never gate — the figure set grows over time.
+// listed but never gate — the figure set grows over time. When both
+// records carry a figure's sweep point count (the capacity sweep went from
+// two transfer designs to three, growing its grid 1.5x), the delta is
+// computed on wall clock *per point* (marked /pt in the table), so a
+// legitimately larger sweep does not read as a regression.
 package main
 
 import (
@@ -20,16 +24,21 @@ import (
 
 // benchRecord mirrors the schema written by nfsrdma-experiments -bench-out.
 type benchRecord struct {
-	Schema    int    `json:"schema"`
-	Date      string `json:"date"`
-	GoVersion string `json:"go_version"`
-	Scale     int    `json:"scale"`
-	Workers   int    `json:"workers"`
-	Note      string `json:"note,omitempty"`
-	Figures   []struct {
-		Name   string  `json:"name"`
-		WallMS float64 `json:"wall_ms"`
-	} `json:"figures"`
+	Schema    int           `json:"schema"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	Scale     int           `json:"scale"`
+	Workers   int           `json:"workers"`
+	Note      string        `json:"note,omitempty"`
+	Figures   []benchFigure `json:"figures"`
+}
+
+// benchFigure is one timed sweep; Points is 0 in records written before
+// the field existed.
+type benchFigure struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Points int     `json:"points,omitempty"`
 }
 
 // row is one line of the comparison table.
@@ -39,24 +48,31 @@ type row struct {
 	NewMS    float64
 	DeltaPct float64 // (new-old)/old, percent; meaningless unless Both
 	Both     bool
+	PerPoint bool // DeltaPct is per sweep point (both records carry counts)
 }
 
 // compare matches figures by name in old-record order, appending new-only
 // figures at the end.
 func compare(oldRec, newRec *benchRecord) []row {
-	newBy := map[string]float64{}
+	newBy := map[string]benchFigure{}
 	for _, f := range newRec.Figures {
-		newBy[f.Name] = f.WallMS
+		newBy[f.Name] = f
 	}
 	var rows []row
 	seen := map[string]bool{}
 	for _, f := range oldRec.Figures {
 		r := row{Name: f.Name, OldMS: f.WallMS}
-		if ms, ok := newBy[f.Name]; ok {
-			r.NewMS = ms
+		if nf, ok := newBy[f.Name]; ok {
+			r.NewMS = nf.WallMS
 			r.Both = true
-			if f.WallMS > 0 {
-				r.DeltaPct = (ms - f.WallMS) / f.WallMS * 100
+			oldV, newV := f.WallMS, nf.WallMS
+			if f.Points > 0 && nf.Points > 0 {
+				oldV /= float64(f.Points)
+				newV /= float64(nf.Points)
+				r.PerPoint = true
+			}
+			if oldV > 0 {
+				r.DeltaPct = (newV - oldV) / oldV * 100
 			}
 		}
 		seen[f.Name] = true
@@ -94,7 +110,11 @@ func render(rows []row) string {
 		case !r.Both:
 			fmt.Fprintf(&b, "%-12s %14s %14.1f %10s\n", r.Name, "-", r.NewMS, "new")
 		default:
-			fmt.Fprintf(&b, "%-12s %14.1f %14.1f %+9.1f%%\n", r.Name, r.OldMS, r.NewMS, r.DeltaPct)
+			unit := "%"
+			if r.PerPoint {
+				unit = "%/pt"
+			}
+			fmt.Fprintf(&b, "%-12s %14.1f %14.1f %+9.1f%s\n", r.Name, r.OldMS, r.NewMS, r.DeltaPct, unit)
 		}
 	}
 	return b.String()

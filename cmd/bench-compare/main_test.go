@@ -5,28 +5,17 @@ import (
 	"testing"
 )
 
-func rec(figs ...struct {
-	Name   string
-	WallMS float64
-}) *benchRecord {
+func rec(figs ...benchFigure) *benchRecord {
 	r := &benchRecord{Schema: 1}
-	for _, f := range figs {
-		r.Figures = append(r.Figures, struct {
-			Name   string  `json:"name"`
-			WallMS float64 `json:"wall_ms"`
-		}{f.Name, f.WallMS})
-	}
+	r.Figures = append(r.Figures, figs...)
 	return r
 }
 
-type fig = struct {
-	Name   string
-	WallMS float64
-}
+type fig = benchFigure
 
 func TestCompareMatchesAndFlagsRegressions(t *testing.T) {
-	oldRec := rec(fig{"fig5+6", 1000}, fig{"fig7", 500}, fig{"gone", 50})
-	newRec := rec(fig{"fig5+6", 1200}, fig{"fig7", 400}, fig{"added", 25})
+	oldRec := rec(fig{Name: "fig5+6", WallMS: 1000}, fig{Name: "fig7", WallMS: 500}, fig{Name: "gone", WallMS: 50})
+	newRec := rec(fig{Name: "fig5+6", WallMS: 1200}, fig{Name: "fig7", WallMS: 400}, fig{Name: "added", WallMS: 25})
 	rows := compare(oldRec, newRec)
 	if len(rows) != 4 {
 		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
@@ -54,13 +43,52 @@ func TestCompareMatchesAndFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestComparePerPointNormalization: when both records carry sweep point
+// counts, the gate normalizes wall clock per point — the capacity sweep
+// growing from 32 two-design points to 48 three-design points at equal
+// per-point cost must NOT read as a regression, while a genuine per-point
+// slowdown still must.
+func TestComparePerPointNormalization(t *testing.T) {
+	oldRec := rec(
+		fig{Name: "capacity", WallMS: 1000, Points: 32},
+		fig{Name: "muxcap", WallMS: 600, Points: 8},
+		fig{Name: "fig7", WallMS: 500}, // no counts: raw wall-clock gating
+	)
+	newRec := rec(
+		fig{Name: "capacity", WallMS: 1500, Points: 48}, // same 31.25 ms/pt
+		fig{Name: "muxcap", WallMS: 900, Points: 8},     // 75 → 112.5 ms/pt: real
+		fig{Name: "fig7", WallMS: 500},
+	)
+	rows := compare(oldRec, newRec)
+	if !rows[0].PerPoint || rows[0].DeltaPct != 0 {
+		t.Fatalf("capacity row = %+v, want per-point delta 0", rows[0])
+	}
+	if !rows[1].PerPoint || rows[1].DeltaPct != 50 {
+		t.Fatalf("muxcap row = %+v, want per-point delta +50%%", rows[1])
+	}
+	if rows[2].PerPoint {
+		t.Fatalf("fig7 row = %+v, want raw (no point counts)", rows[2])
+	}
+	if bad := regressions(rows, 10); len(bad) != 1 || bad[0] != "muxcap" {
+		t.Fatalf("regressions(10%%) = %v, want [muxcap]", bad)
+	}
+	// Mixed records (one side predates the points field) fall back to raw.
+	mixed := compare(rec(fig{Name: "capacity", WallMS: 1000}), newRec)
+	if mixed[0].PerPoint {
+		t.Fatalf("mixed row = %+v, want raw fallback", mixed[0])
+	}
+	if mixed[0].DeltaPct != 50 {
+		t.Fatalf("mixed delta = %.1f, want raw +50%%", mixed[0].DeltaPct)
+	}
+}
+
 func TestRenderShowsAllRowKinds(t *testing.T) {
 	rows := compare(
-		rec(fig{"a", 100}, fig{"gone", 10}),
-		rec(fig{"a", 90}, fig{"new", 5}),
+		rec(fig{Name: "a", WallMS: 100}, fig{Name: "gone", WallMS: 10}, fig{Name: "pts", WallMS: 100, Points: 2}),
+		rec(fig{Name: "a", WallMS: 90}, fig{Name: "new", WallMS: 5}, fig{Name: "pts", WallMS: 220, Points: 4}),
 	)
 	out := render(rows)
-	for _, want := range []string{"a", "gone", "new", "removed", "-10.0%"} {
+	for _, want := range []string{"a", "gone", "new", "removed", "-10.0%", "+10.0%/pt"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render output missing %q:\n%s", want, out)
 		}

@@ -123,7 +123,7 @@ func (t telemetryFlags) emit(r *telemetry.Report) {
 func main() {
 	profileName := flag.String("profile", "solaris-sdr", "testbed profile: solaris-sdr, linux-sdr, linux-ddr")
 	transport := flag.String("transport", "rdma", "transport: rdma, ipoib, gige")
-	design := flag.String("design", "read-write", "bulk design: read-write, read-read")
+	design := flag.String("design", "read-write", "bulk design: read-write, read-read, rfp (reply-fetch)")
 	reg := flag.String("reg", "register", "registration mode: register, fmr, all-physical, cache")
 	threads := flag.Int("threads", 1, "IOzone threads")
 	record := flag.Int("record", 128<<10, "record size in bytes")
@@ -211,6 +211,8 @@ func main() {
 		cfg.Design = rpcrdma.ReadWrite
 	case "read-read":
 		cfg.Design = rpcrdma.ReadRead
+	case "rfp", "reply-fetch":
+		cfg.Design = rpcrdma.ReplyFetch
 	default:
 		fatal("unknown design %q", *design)
 	}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/experiments"
+	"repro/internal/rpcrdma"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -56,10 +57,14 @@ type benchRecord struct {
 	Figures    []figureBench `json:"figures"`
 }
 
-// figureBench is one timed sweep.
+// figureBench is one timed sweep. Points is the sweep's point count (0 =
+// not a point sweep); bench-compare normalizes wall clock per point with
+// it, so a sweep that legitimately grows (e.g. capacity going from two
+// transfer designs to three) does not read as a perf regression.
 type figureBench struct {
 	Name   string  `json:"name"`
 	WallMS float64 `json:"wall_ms"`
+	Points int     `json:"points,omitempty"`
 }
 
 func main() {
@@ -123,12 +128,13 @@ func main() {
 		Workers:    experiments.Parallelism(),
 		Note:       *benchNote,
 	}
-	timed := func(name string, fn func()) {
+	timed := func(name string, fn func() int) {
 		start := time.Now()
-		fn()
+		points := fn()
 		rec.Figures = append(rec.Figures, figureBench{
 			Name:   name,
 			WallMS: float64(time.Since(start).Microseconds()) / 1e3,
+			Points: points,
 		})
 	}
 
@@ -136,7 +142,7 @@ func main() {
 		emit(experiments.Table1())
 	}
 	if sel("fig4") {
-		timed("fig4", func() {
+		timed("fig4", func() int {
 			r := experiments.RunFigure4(s)
 			emit(r.PerProc)
 			emit(r.Transport)
@@ -160,10 +166,20 @@ func main() {
 					*traceOut, len(events), r.Tracer.Dropped())
 				fmt.Println(trace.Summary(events))
 			}
+			// Three-way anatomy: the same traced run under the other two
+			// transfer designs, so the exchange structures (server Send
+			// vs client pull vs doorbell fetch) line up side by side.
+			for _, d := range []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReplyFetch} {
+				rd := experiments.RunFigure4Design(s, d)
+				emit(rd.PerProc)
+				emit(rd.Transport)
+				emit(rd.Counters)
+			}
+			return 3 // one anatomy cluster per design
 		})
 	}
 	if sel("fig5") || sel("fig6") {
-		timed("fig5+6", func() {
+		timed("fig5+6", func() int {
 			r := experiments.RunFigure5and6(s)
 			if sel("fig5") {
 				emit(r.Read)
@@ -172,44 +188,55 @@ func main() {
 				emit(r.Write)
 			}
 			emit(r.CPU)
+			return len(r.Points)
 		})
 	}
 	if sel("fig7") {
-		timed("fig7", func() {
+		timed("fig7", func() int {
 			r := experiments.RunFigure7(s)
 			emit(r.Read)
 			emit(r.Write)
 			emit(r.CPU)
+			return 0
 		})
 	}
 	if sel("fig8") {
-		timed("fig8", func() { emit(experiments.RunFigure8(s).Table) })
+		timed("fig8", func() int { emit(experiments.RunFigure8(s).Table); return 0 })
 	}
 	if sel("fig9") {
-		timed("fig9", func() {
+		timed("fig9", func() int {
 			r := experiments.RunFigure9(s)
 			emit(r.Read)
 			emit(r.Write)
+			return 0
 		})
 	}
 	if sel("fig10a") {
-		timed("fig10a", func() { emit(experiments.RunFigure10(s, 4<<30, 8).Table) })
+		timed("fig10a", func() int { emit(experiments.RunFigure10(s, 4<<30, 8).Table); return 0 })
 	}
 	if sel("fig10b") {
-		timed("fig10b", func() { emit(experiments.RunFigure10(s, 8<<30, 8).Table) })
+		timed("fig10b", func() int { emit(experiments.RunFigure10(s, 8<<30, 8).Table); return 0 })
 	}
 	if sel("recovery") {
-		timed("recovery", func() { emit(experiments.RunRecovery(s).Table) })
+		timed("recovery", func() int {
+			r := experiments.RunRecovery(s)
+			emit(r.Table)
+			return len(r.Points)
+		})
 	}
 	if sel("chaos") {
-		timed("chaos", func() { emit(experiments.RunChaos(s).Table) })
+		timed("chaos", func() int {
+			r := experiments.RunChaos(s)
+			emit(r.Table)
+			return len(r.Points)
+		})
 	}
 	telIval := des.Duration(0)
 	if *telemetryPrefix != "" {
 		telIval = des.Duration(*telemetryIval)
 	}
 	if sel("capacity") {
-		timed("capacity", func() {
+		timed("capacity", func() int {
 			r := experiments.RunCapacityWith(s, experiments.CapacityOptions{TelemetryInterval: telIval})
 			emit(r.Curves)
 			emit(r.Knee)
@@ -218,10 +245,11 @@ func main() {
 					pt.Clients, pt.Design, pt.OfferedMBps)
 				emitTelemetry(*telemetryPrefix, name, pt.Telemetry)
 			}
+			return len(r.Points)
 		})
 	}
 	if sel("muxcap") {
-		timed("muxcap", func() {
+		timed("muxcap", func() int {
 			r := experiments.RunMuxCapacityWith(s, experiments.MuxCapacityOptions{TelemetryInterval: telIval})
 			emit(r.Curves)
 			emit(r.Memory)
@@ -234,16 +262,18 @@ func main() {
 					pt.Clients, mode, pt.Design, pt.OfferedMBps)
 				emitTelemetry(*telemetryPrefix, name, pt.Telemetry)
 			}
+			return len(r.Points)
 		})
 	}
 	if want["ablations"] {
-		timed("ablations", func() {
+		timed("ablations", func() int {
 			emit(experiments.AblationORD(s))
 			emit(experiments.AblationPhysicalContiguity(s))
 			emit(experiments.AblationInlineThreshold(s))
 			emit(experiments.AblationInterruptCost(s))
 			emit(experiments.AblationCacheBound(s))
 			emit(experiments.AblationClientCache(s))
+			return 0
 		})
 	}
 

@@ -37,6 +37,7 @@ func main() {
 	for _, mode := range []memreg.Mode{memreg.Regular, memreg.FMR, memreg.AllPhysical, memreg.Cache} {
 		combos = append(combos, combo{core.TransportRDMA, rpcrdma.ReadWrite, mode})
 		combos = append(combos, combo{core.TransportRDMA, rpcrdma.ReadRead, mode})
+		combos = append(combos, combo{core.TransportRDMA, rpcrdma.ReplyFetch, mode})
 	}
 	combos = append(combos, combo{core.TransportIPoIB, rpcrdma.ReadWrite, memreg.Regular})
 	combos = append(combos, combo{core.TransportGigE, rpcrdma.ReadWrite, memreg.Regular})

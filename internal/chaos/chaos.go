@@ -89,16 +89,16 @@ type Result struct {
 	Violations          []string
 	InvariantViolations []string
 
-	Crashes              int64
-	Reconnects, Replays  int64
-	Timeouts             int64
-	Retransmits          int64
-	DRCHits, DRCMisses   int64
-	Load                 workload.ChaosLoadResult
-	WritesIssued         int64
-	OracleReads          int64
-	OracleRenameENOENTs  int64
-	FinalTime            des.Time
+	Crashes             int64
+	Reconnects, Replays int64
+	Timeouts            int64
+	Retransmits         int64
+	DRCHits, DRCMisses  int64
+	Load                workload.ChaosLoadResult
+	WritesIssued        int64
+	OracleReads         int64
+	OracleRenameENOENTs int64
+	FinalTime           des.Time
 
 	// Fingerprint condenses every counter and the final virtual time into
 	// one string; equal fingerprints mean byte-identical runs.
@@ -143,17 +143,17 @@ func Run(cfg Config) *Result {
 		drcEntries = -1
 	}
 	cluster := core.NewCluster(core.Config{
-		Profile:    chaosProfile(),
-		Transport:  core.TransportRDMA,
-		Design:     cfg.Design,
-		Clients:    cfg.Clients,
-		Backend:    core.BackendTmpfs,
-		CopyData:   true, // integrity checking needs real bytes
-		DRCEntries: drcEntries,
+		Profile:      chaosProfile(),
+		Transport:    core.TransportRDMA,
+		Design:       cfg.Design,
+		Clients:      cfg.Clients,
+		Backend:      core.BackendTmpfs,
+		CopyData:     true, // integrity checking needs real bytes
+		DRCEntries:   drcEntries,
 		ServerShards: cfg.Shards,
-		Multiplex:  cfg.Multiplex,
-		Affinity:   cfg.Affinity,
-		Seed:       cfg.Seed,
+		Multiplex:    cfg.Multiplex,
+		Affinity:     cfg.Affinity,
+		Seed:         cfg.Seed,
 	})
 	var tr *trace.Tracer
 	if cfg.TraceCapacity > 0 {
@@ -242,7 +242,13 @@ func (res *Result) checkInvariants(tr *trace.Tracer, design rpcrdma.Design) {
 	if err := trace.CheckExposureBounds(events); err != nil {
 		res.InvariantViolations = append(res.InvariantViolations, fmt.Sprintf("MR exposure bounds: %v", err))
 	}
-	if design == rpcrdma.ReadWrite {
+	// The server side must stay unexposed in both designs that avoid
+	// server-advertised chunks: Read-Write (the paper's §4 claim) and
+	// reply-fetch (the server only ever Writes into client-owned slots).
+	// Read-Read exposes the server by construction; reply-fetch instead
+	// exposes the *clients*, which CheckExposureBounds above still bounds
+	// to each RPC's lifetime.
+	if design == rpcrdma.ReadWrite || design == rpcrdma.ReplyFetch {
 		if err := trace.CheckNoRemoteExposure(events, "server"); err != nil {
 			res.InvariantViolations = append(res.InvariantViolations, fmt.Sprintf("remote exposure: %v", err))
 		}

@@ -39,6 +39,39 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosReplyFetchDeterministic: the doorbell write-watch and fetch
+// proc introduce new event orderings; same seed must still mean a
+// byte-identical run, crash/replay deposits included.
+func TestChaosReplyFetchDeterministic(t *testing.T) {
+	cfg := Config{Seed: 17, Design: rpcrdma.ReplyFetch, Faults: 5}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same-seed reply-fetch fingerprints differ:\n  %s\n  %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestChaosReplyFetchCrashReplayClean covers the deposited-but-unfetched
+// corner directly: a reply-fetch run whose schedule includes server
+// crashes must replay every interrupted call through the rebuilt DRC with
+// byte-identical results — the integrity oracle reads back every byte, so
+// a replay that deposited different bytes (or re-executed a
+// non-idempotent op) would surface as a violation.
+func TestChaosReplyFetchCrashReplayClean(t *testing.T) {
+	res := Run(Config{Seed: 9, Design: rpcrdma.ReplyFetch, Faults: 5,
+		MaxCrashes: 2, TraceCapacity: 1 << 20})
+	if res.Failed() {
+		t.Fatalf("violations: %v %v\nschedule: %v", res.Violations, res.InvariantViolations, res.Schedule)
+	}
+	if res.Crashes == 0 {
+		t.Skip("seed produced no crash; crash replay not exercised")
+	}
+	if res.Replays == 0 {
+		t.Fatal("crash happened but nothing was replayed")
+	}
+	t.Logf("crashes=%d replays=%d drc=%d/%d", res.Crashes, res.Replays, res.DRCHits, res.DRCMisses)
+}
+
 // chaosSoakSeeds returns the soak width: 32 seeds by default (the
 // acceptance floor), overridable with CHAOS_SEEDS=n for longer campaigns.
 func chaosSoakSeeds(t *testing.T) int {
@@ -52,9 +85,9 @@ func chaosSoakSeeds(t *testing.T) int {
 	return 32
 }
 
-// TestChaosSoak: N seeded schedules × {Read-Read, Read-Write} must pass the
-// data-integrity oracle and every trace invariant checker. Runs fan out
-// across cores deterministically (index-keyed results).
+// TestChaosSoak: N seeded schedules × {Read-Read, Read-Write, Reply-Fetch}
+// must pass the data-integrity oracle and every trace invariant checker.
+// Runs fan out across cores deterministically (index-keyed results).
 func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak; skipped in -short")
@@ -65,7 +98,7 @@ func TestChaosSoak(t *testing.T) {
 		design rpcrdma.Design
 	}
 	var grid []point
-	for _, d := range []rpcrdma.Design{rpcrdma.ReadWrite, rpcrdma.ReadRead} {
+	for _, d := range []rpcrdma.Design{rpcrdma.ReadWrite, rpcrdma.ReadRead, rpcrdma.ReplyFetch} {
 		for s := 1; s <= seeds; s++ {
 			grid = append(grid, point{seed: uint64(s), design: d})
 		}
@@ -90,7 +123,7 @@ func TestChaosSoak(t *testing.T) {
 		}
 	}
 	if failed == 0 {
-		t.Logf("%d runs clean (%d seeds × 2 designs)", len(results), seeds)
+		t.Logf("%d runs clean (%d seeds × 3 designs)", len(results), seeds)
 	}
 }
 
@@ -110,7 +143,7 @@ func TestChaosSoakMux(t *testing.T) {
 		design rpcrdma.Design
 	}
 	var grid []point
-	for _, d := range []rpcrdma.Design{rpcrdma.ReadWrite, rpcrdma.ReadRead} {
+	for _, d := range []rpcrdma.Design{rpcrdma.ReadWrite, rpcrdma.ReadRead, rpcrdma.ReplyFetch} {
 		for s := 1; s <= seeds; s++ {
 			grid = append(grid, point{seed: uint64(s), design: d})
 		}
@@ -132,7 +165,7 @@ func TestChaosSoakMux(t *testing.T) {
 		}
 	}
 	if failed == 0 {
-		t.Logf("%d mux runs clean (%d seeds × 2 designs)", len(results), seeds)
+		t.Logf("%d mux runs clean (%d seeds × 3 designs)", len(results), seeds)
 	}
 }
 

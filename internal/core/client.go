@@ -23,9 +23,9 @@ type Client struct {
 	NFS       *nfs3.Client
 	Root      nfs3.FH
 
-	attrCache *AttrCache            // nil unless EnableAttrCache was called
-	dataCache *DataCache            // nil unless EnableDataCache was called
-	recovery  *recoveringTransport  // nil unless EnableRecovery was called
+	attrCache *AttrCache           // nil unless EnableAttrCache was called
+	dataCache *DataCache           // nil unless EnableDataCache was called
+	recovery  *recoveringTransport // nil unless EnableRecovery was called
 
 	// Transport counters carried over from connections retired by Reconnect,
 	// so TransportStats stays cumulative across transport swaps.

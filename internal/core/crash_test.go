@@ -91,9 +91,9 @@ func TestCrashRestartRecovery(t *testing.T) {
 // clients see pure per-call timeouts (not connection deaths).
 type blackholeService struct{}
 
-func (blackholeService) Name() string     { return "blackhole" }
-func (blackholeService) Program() uint32  { return 100003 }
-func (blackholeService) Version() uint32  { return 3 }
+func (blackholeService) Name() string    { return "blackhole" }
+func (blackholeService) Program() uint32 { return 100003 }
+func (blackholeService) Version() uint32 { return 3 }
 func (blackholeService) Handle(p *des.Proc, req *oncrpc.ServerRequest) *oncrpc.ServerResponse {
 	p.Sleep(des.Duration(time.Hour))
 	return nil

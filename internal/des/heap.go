@@ -46,7 +46,7 @@ func eventLess(a, b *event) bool {
 // heapPush inserts e into the pending set.
 func (s *Sim) heapPush(e *event) {
 	s.queue = append(s.queue, e)
-	s.siftUp(len(s.queue) - 1, e)
+	s.siftUp(len(s.queue)-1, e)
 }
 
 // heapPop removes and returns the earliest event.

@@ -29,7 +29,7 @@ func settleGoroutines(t *testing.T, want int) int {
 func TestRunUntilUnwindsAllBlockedShapes(t *testing.T) {
 	before := runtime.NumGoroutine()
 	s := New()
-	ev := NewEvent(s)  // never fired
+	ev := NewEvent(s)     // never fired
 	q := NewQueue(s, "q") // never put
 	r := NewResource(s, "r", 1)
 

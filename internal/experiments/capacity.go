@@ -100,7 +100,7 @@ const (
 	saturationRatio = 0.9
 )
 
-// RunCapacity sweeps client count × offered load for both transfer designs
+// RunCapacity sweeps client count × offered load for all three transfer designs
 // on the DDR multi-client testbed (RAID-0 + page cache backend) with the
 // sharded SRQ server path, producing throughput-vs-p99 curves and a
 // saturation-knee summary. An open-loop generator (workload.RunOpenLoop)
@@ -120,7 +120,7 @@ func RunCapacityWith(scale Scale, opts CapacityOptions) *Capacity {
 		Knee: stats.NewTable("Capacity: saturation knee per client count (first offered load whose achieved gain falls below half the offered increment)",
 			"clients", "design", "knee MB/s", "peak MB/s", "p99@peak µs"),
 	}
-	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
+	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite, rpcrdma.ReplyFetch}
 	pts := runner.Grid(len(opts.ClientCounts), len(designs), len(opts.AggregateOfferedMBps))
 	results := pmap(len(pts), func(i int) CapacityPoint {
 		c := pts[i]

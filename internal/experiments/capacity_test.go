@@ -63,7 +63,7 @@ func TestCapacityKneeAndDesignOrdering(t *testing.T) {
 	t.Logf("\n%s\n%s", r.Curves.String(), r.Knee.String())
 
 	loads := len(opts.AggregateOfferedMBps)
-	wantPoints := len(opts.ClientCounts) * 2 * loads
+	wantPoints := len(opts.ClientCounts) * 3 * loads
 	if len(r.Points) != wantPoints {
 		t.Fatalf("got %d points, want %d", len(r.Points), wantPoints)
 	}
@@ -98,5 +98,33 @@ func TestCapacityKneeAndDesignOrdering(t *testing.T) {
 	}
 	if len(r.Knee.String()) == 0 {
 		t.Fatal("empty knee table")
+	}
+}
+
+// TestCapacityReplyFetchServerCPU512 pins reply-fetch's payoff at the
+// sweep's largest population: with 512 clients the server's CPU cost per
+// completed op must be strictly lower under reply-fetch than under either
+// Send-based reply path — no reply Send to post, no send completion to
+// wait on, no completion interrupt to take.
+func TestCapacityReplyFetchServerCPU512(t *testing.T) {
+	opts := CapacityOptions{
+		ClientCounts:         []int{512},
+		AggregateOfferedMBps: []float64{2400},
+		Seed:                 7,
+	}
+	r := RunCapacityWith(testScale, opts)
+	perOp := map[rpcrdma.Design]float64{}
+	for _, p := range r.Points {
+		if p.Completed == 0 {
+			t.Fatalf("%s: no completions", p.Design)
+		}
+		perOp[p.Design] = p.ServerCPUPct / float64(p.Completed)
+		t.Logf("%-11s srvCPU=%.2f%% completed=%d cpu/op=%.6f", p.Design, p.ServerCPUPct, p.Completed, perOp[p.Design])
+	}
+	rfp := perOp[rpcrdma.ReplyFetch]
+	for _, d := range []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite} {
+		if rfp >= perOp[d] {
+			t.Errorf("reply-fetch server CPU/op %.6f not below %s's %.6f", rfp, d, perOp[d])
+		}
 	}
 }

@@ -44,7 +44,7 @@ func chaosSeedsFor(scale Scale) int {
 }
 
 // RunChaos soaks seeded fault schedules — QP errors, link flaps, server
-// crash/restart cycles — against both transfer designs and all three server
+// crash/restart cycles — against all three transfer designs and all three server
 // receive paths (per-connection, SRQ-sharded, and shared-QP multiplexed).
 // Every run must satisfy the data-integrity oracle (every READ byte
 // explained by the write history, non-idempotent replays legal only across
@@ -57,7 +57,7 @@ func RunChaos(scale Scale) *Chaos {
 			"design", "mode", "seeds", "crashes", "reconnects", "replays", "writes", "oracle reads", "renames", "failures"),
 	}
 	seeds := chaosSeedsFor(scale)
-	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
+	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite, rpcrdma.ReplyFetch}
 	type serverMode struct {
 		name   string
 		shards int

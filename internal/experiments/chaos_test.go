@@ -11,8 +11,8 @@ import (
 // invariant failures — while actually doing recovery work.
 func TestChaosSweep(t *testing.T) {
 	r := RunChaos(testScale * 2) // 4 seeds per cell; the full soak lives in internal/chaos
-	if len(r.Points) != 6 {
-		t.Fatalf("points = %d, want 6 (2 designs x 3 server modes)", len(r.Points))
+	if len(r.Points) != 9 {
+		t.Fatalf("points = %d, want 9 (3 designs x 3 server modes)", len(r.Points))
 	}
 	muxCells := 0
 	for _, p := range r.Points {
@@ -32,8 +32,8 @@ func TestChaosSweep(t *testing.T) {
 				p.Design, p.Shards, p.Multiplex, p.WritesAcked, p.OracleReads)
 		}
 	}
-	if muxCells != 2 {
-		t.Errorf("mux cells = %d, want 2", muxCells)
+	if muxCells != 3 {
+		t.Errorf("mux cells = %d, want 3", muxCells)
 	}
 }
 

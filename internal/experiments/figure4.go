@@ -34,14 +34,21 @@ type Figure4 struct {
 // so exported traces show every layer from time zero.
 const figure4TraceCapacity = 1 << 20
 
-// RunFigure4 runs the single traced cluster. Unlike the sweep figures this
-// is one simulation, so it always runs sequentially regardless of the
-// configured parallelism.
+// RunFigure4 runs the single traced cluster with the paper's Read-Write
+// design. Unlike the sweep figures this is one simulation, so it always
+// runs sequentially regardless of the configured parallelism.
 func RunFigure4(scale Scale) *Figure4 {
+	return RunFigure4Design(scale, rpcrdma.ReadWrite)
+}
+
+// RunFigure4Design is the latency anatomy under an explicit transfer
+// design, so the three designs' exchange structures (server Send vs
+// client pull vs doorbell fetch) can be compared layer by layer.
+func RunFigure4Design(scale Scale, design rpcrdma.Design) *Figure4 {
 	cluster := core.NewCluster(core.Config{
 		Profile:   profiles.SolarisSDR(),
 		Transport: core.TransportRDMA,
-		Design:    rpcrdma.ReadWrite,
+		Design:    design,
 		RegMode:   memreg.Regular,
 	})
 	tr := cluster.EnableTracing(figure4TraceCapacity)
@@ -67,11 +74,11 @@ func RunFigure4(scale Scale) *Figure4 {
 	cluster.Run()
 
 	out := &Figure4{
-		PerProc: stats.NewTable("Figure 4: per-procedure NFS latency, Solaris, Read-Write, Regular registration (µs)",
+		PerProc: stats.NewTable(fmt.Sprintf("Figure 4: per-procedure NFS latency, Solaris, %s, Regular registration (µs)", design),
 			"procedure", "count", "mean", "p50", "p95", "p99", "max"),
-		Transport: stats.NewTable("Figure 4: transport-internal latency histograms (µs)",
+		Transport: stats.NewTable(fmt.Sprintf("Figure 4: transport-internal latency histograms, %s (µs)", design),
 			"histogram", "count", "mean", "p50", "p95", "p99", "max"),
-		Counters: stats.NewTable("Figure 4: transport counters",
+		Counters: stats.NewTable(fmt.Sprintf("Figure 4: transport counters, %s", design),
 			"counter", "value"),
 		Tracer: tr,
 	}
@@ -91,6 +98,7 @@ func RunFigure4(scale Scale) *Figure4 {
 	out.Counters.AddRow("client timeouts", timeouts)
 	out.Counters.AddRow("client retransmits", retransmits)
 	out.Counters.AddRow("server short writes", cluster.Server.RDMA.ShortWrites)
+	out.Counters.AddRow("server deposits", cluster.Server.RDMA.Deposits)
 	out.Counters.AddRow("trace events kept", out.Tracer.Len())
 	out.Counters.AddRow("trace events dropped", out.Tracer.Dropped())
 	return out

@@ -123,7 +123,7 @@ func RunMuxCapacityWith(scale Scale, opts MuxCapacityOptions) *MuxCapacity {
 			"clients", "per-conn bytes", "mux bytes", "saving", "mux endpoints", "mux slots"),
 	}
 	modes := []bool{false, true} // per-conn, multiplexed
-	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
+	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite, rpcrdma.ReplyFetch}
 	pts := runner.Grid(len(opts.ClientCounts), len(modes), len(designs), len(opts.AggregateOfferedMBps))
 	results := pmap(len(pts), func(i int) MuxCapacityPoint {
 		c := pts[i]

@@ -42,8 +42,8 @@ type Recovery struct {
 	Table  *stats.Table
 }
 
-// RunRecovery sweeps injected connection failures against both transfer
-// designs and reports throughput degradation alongside correctness
+// RunRecovery sweeps injected connection failures against all three
+// transfer designs and reports throughput degradation alongside correctness
 // evidence: every byte of a two-pass overwrite workload (plus a rename
 // chain of non-idempotent metadata operations) must land exactly once,
 // with the transparent reconnect/replay layer absorbing every fault.
@@ -57,7 +57,7 @@ func RunRecovery(scale Scale) *Recovery {
 			"faults", "design", "write MB/s", "reconnects", "replays", "timeouts", "retrans", "shortw", "WRITEs exec/issued", "data"),
 	}
 	faultCounts := []int{0, 1, 3, 6}
-	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite}
+	designs := []rpcrdma.Design{rpcrdma.ReadRead, rpcrdma.ReadWrite, rpcrdma.ReplyFetch}
 	fileSize := scale.div64(8 << 20)
 	pts := runner.Grid(len(faultCounts), len(designs))
 	results := pmap(len(pts), func(i int) RecoveryPoint {
@@ -112,10 +112,16 @@ func runRecoveryPoint(faults int, design rpcrdma.Design, fileSize int64) Recover
 	completed, fired := 0, 0
 	afterWrite := func() {
 		completed++
-		for fired < len(milestones) && completed >= milestones[fired] {
-			fired++
+		// Fire at most one fault per completion, and only on a healthy
+		// QP; a milestone crossed while the transport is already errored
+		// (several same-instant completions — reply-fetch doorbell wakes
+		// batch more than the Send paths) defers to the next completion
+		// rather than being silently dropped, so every scheduled fault
+		// lands exactly once.
+		if fired < len(milestones) && completed >= milestones[fired] {
 			if qp := cl.RDMA.QP(); qp.Err() == nil {
 				qp.InjectError(nil)
+				fired++
 			}
 		}
 	}

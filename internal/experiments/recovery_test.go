@@ -7,12 +7,12 @@ import (
 
 // TestRecoveryAblation is the end-to-end recovery acceptance check: the
 // workload completes across every injected-failure count (including >= 3
-// faults) with byte-exact data and zero duplicate side effects, on both
-// transfer designs.
+// faults) with byte-exact data and zero duplicate side effects, on all
+// three transfer designs.
 func TestRecoveryAblation(t *testing.T) {
 	r := RunRecovery(testScale)
-	if len(r.Points) != 8 {
-		t.Fatalf("points = %d, want 8", len(r.Points))
+	if len(r.Points) != 12 {
+		t.Fatalf("points = %d, want 12 (4 fault counts x 3 designs)", len(r.Points))
 	}
 	for _, p := range r.Points {
 		if !p.DataOK {

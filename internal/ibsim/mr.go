@@ -86,6 +86,11 @@ type HCA struct {
 
 	globalMR *MR
 
+	// watches are write-watch doorbells (see watch.go), keyed by rkey.
+	// Nil until the first WatchWrite, so non-RFP runs pay one nil check
+	// per delivered Write.
+	watches map[uint32][]*WriteWatch
+
 	// Exposure accounting for the security evaluation.
 	remoteExposedBytes int64
 	remoteExposedEver  int64 // cumulative count of remotely accessible MRs

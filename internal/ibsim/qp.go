@@ -640,6 +640,7 @@ func (q *QP) launchWrite(p *des.Proc, w *SendWQE) {
 		// payloads (long calls/replies) are always real even in
 		// phantom-data mode; phantom bulk buffers skip naturally.
 		copyOut(mr, w.RemoteAddr, w.Local)
+		peer.node.HCA.notifyWrite(w.RemoteKey, w.RemoteAddr, size)
 		q.complete(w, nil, size)
 	})
 }

@@ -1,0 +1,107 @@
+package ibsim
+
+import "repro/internal/des"
+
+// WriteWatch observes incoming RDMA Writes landing in a watched address
+// range — the doorbell primitive of the reply-fetch design. An RNIC raises
+// no target-side completion for an inbound RDMA Write, so a consumer that
+// expects a peer to deposit data (the RFP client waiting for its reply
+// slot) must poll the memory itself. Real implementations spin on the
+// doorbell word; the simulator models the poll loop's detection with an
+// event fired at the instant the overlapping Write is delivered, and the
+// consumer charges its own polling cost on wake.
+//
+// A watch fires at most once and deregisters itself on firing. Cancel
+// removes an unfired watch and wakes any waiter with nil so its process
+// can exit.
+type WriteWatch struct {
+	hca   *HCA
+	rkey  uint32
+	lo    uint64
+	hi    uint64
+	ev    *des.Event
+	fired bool
+}
+
+// WatchWrite registers a watch over [addr, addr+length) of the region
+// named by rkey. The returned watch's event fires with a non-nil value
+// when a delivered RDMA Write overlaps the range.
+func (h *HCA) WatchWrite(rkey uint32, addr uint64, length int) *WriteWatch {
+	w := &WriteWatch{
+		hca: h, rkey: rkey,
+		lo: addr, hi: addr + uint64(length),
+		ev: des.NewEvent(h.node.fab.Sim),
+	}
+	if h.watches == nil {
+		h.watches = make(map[uint32][]*WriteWatch)
+	}
+	h.watches[rkey] = append(h.watches[rkey], w)
+	return w
+}
+
+// Wait blocks until a Write lands in the watched range (returns true) or
+// the watch is cancelled (returns false).
+func (w *WriteWatch) Wait(p *des.Proc) bool {
+	return w.ev.Wait(p) != nil
+}
+
+// Cancel removes an unfired watch and releases its waiter. Safe to call
+// after firing (no-op).
+func (w *WriteWatch) Cancel() {
+	if !w.fired {
+		w.fired = true
+		w.hca.unwatch(w)
+	}
+	w.ev.TryFire(nil)
+}
+
+func (h *HCA) unwatch(w *WriteWatch) {
+	list := h.watches[w.rkey]
+	for i, o := range list {
+		if o == w {
+			h.watches[w.rkey] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(h.watches[w.rkey]) == 0 {
+		delete(h.watches, w.rkey)
+	}
+}
+
+// notifyWrite fires every watch overlapping a just-delivered RDMA Write.
+// Called from the write delivery path after the data is placed; with no
+// watches registered (every non-RFP workload) it is a nil-map lookup.
+// Watches fire in registration order, keeping wakeups deterministic.
+func (h *HCA) notifyWrite(rkey uint32, addr uint64, length int) {
+	if h.watches == nil {
+		return
+	}
+	list := h.watches[rkey]
+	if len(list) == 0 {
+		return
+	}
+	end := addr + uint64(length)
+	fired := false
+	for _, w := range list {
+		if w.fired || end <= w.lo || addr >= w.hi {
+			continue
+		}
+		w.fired = true
+		fired = true
+		w.ev.TryFire(w)
+	}
+	if !fired {
+		return
+	}
+	keep := list[:0]
+	for _, w := range list {
+		if !w.fired {
+			keep = append(keep, w)
+		}
+	}
+	if len(keep) == 0 {
+		delete(h.watches, rkey)
+	} else {
+		h.watches[rkey] = keep
+	}
+}

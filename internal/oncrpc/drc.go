@@ -139,6 +139,17 @@ func (d *Dispatcher) DRCEntries() int {
 	return n
 }
 
+// DRCClients returns how many client replay windows exist, zero without a
+// DRC. After DropDRC this must count only clients that have actually been
+// served since the wipe — a commit racing the wipe must not resurrect an
+// empty window.
+func (d *Dispatcher) DRCClients() int {
+	if d.drc == nil {
+		return 0
+	}
+	return len(d.drc.clients)
+}
+
 // DRCInProgressDrops returns how many retransmissions were dropped because
 // their original call was still executing.
 func (d *Dispatcher) DRCInProgressDrops() int64 {
@@ -190,9 +201,16 @@ func (c *drc) begin(machine string, k clientKey) {
 }
 
 // commit completes a placeholder with the reply to replay for future
-// retransmissions.
+// retransmissions. It looks the client window up WITHOUT creating: if
+// DropDRC wiped the windows while this call was executing (crash path), the
+// placeholder is gone and creating an empty drcClient here would leak it —
+// nothing ever removes a clientless window, and it skews DRCClients.
 func (c *drc) commit(machine string, k clientKey, reply []byte, bulk *Bulk) {
-	if e, ok := c.client(machine).entries[k]; ok {
+	cl, ok := c.clients[machine]
+	if !ok {
+		return
+	}
+	if e, ok := cl.entries[k]; ok {
 		e.executing = false
 		e.reply = reply
 		e.bulk = bulk

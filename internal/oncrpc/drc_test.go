@@ -118,9 +118,9 @@ func TestDRCSuppressesDuplicateWhileExecuting(t *testing.T) {
 // classifierService caches only proc 7 (its sole non-idempotent procedure).
 type classifierService struct{ calls [10]int }
 
-func (s *classifierService) Name() string              { return "classified" }
-func (s *classifierService) Program() uint32           { return 557 }
-func (s *classifierService) Version() uint32           { return 1 }
+func (s *classifierService) Name() string                { return "classified" }
+func (s *classifierService) Program() uint32             { return 557 }
+func (s *classifierService) Version() uint32             { return 1 }
 func (s *classifierService) NonIdempotent(p uint32) bool { return p == 7 }
 func (s *classifierService) Handle(p *des.Proc, req *ServerRequest) *ServerResponse {
 	s.calls[req.Header.Proc]++
@@ -257,6 +257,52 @@ func TestDRCEvictionAroundExecutingCall(t *testing.T) {
 	sim.Run()
 	if slow.calls != 1 {
 		t.Errorf("slow call executed %d times, want 1 (placeholder evicted by churn?)", slow.calls)
+	}
+}
+
+// TestDRCCrashMidExecution is the regression test for commit resurrecting
+// wiped clients: DropDRC (the server crash path) wipes every client window
+// while a call is still inside its handler; the commit on handler return
+// used to go through the creating client() accessor and rebuild an empty
+// drcClient for the wiped machine — a silent map leak that nothing ever
+// removes, skewing the client count. Post-fix, no empty window may linger.
+func TestDRCCrashMidExecution(t *testing.T) {
+	d := NewDispatcher()
+	svc := &slowService{delay: time.Millisecond}
+	d.Register(svc)
+	d.EnableDRC(8)
+	sim := des.New()
+	hdr := &CallHeader{XID: 7, Prog: 556, Vers: 1, Proc: 1,
+		Cred: Auth{Flavor: AuthSys, Machine: "c0"}}
+	raw := EncodeCall(hdr, nil)
+	sim.Spawn("original", func(p *des.Proc) {
+		d.Dispatch(p, raw, DispatchOpts{}) // handler runs until t=1ms
+	})
+	sim.SpawnAt(des.Time(100*time.Microsecond), "crash", func(p *des.Proc) {
+		d.DropDRC() // crash wipes the windows mid-execution
+		if n := d.DRCClients(); n != 0 {
+			t.Errorf("DropDRC left %d client windows", n)
+		}
+	})
+	sim.Run()
+	// The handler returned after the wipe; its commit must not have
+	// recreated the client's (now empty) window.
+	if n := d.DRCClients(); n != 0 {
+		t.Errorf("commit resurrected %d wiped client window(s)", n)
+	}
+	if n := d.DRCEntries(); n != 0 {
+		t.Errorf("wiped entries linger: %d", n)
+	}
+	// The machine is live again as soon as it issues a fresh call.
+	sim2 := des.New()
+	sim2.Spawn("fresh", func(p *des.Proc) {
+		if _, _, err := d.Dispatch(p, raw, DispatchOpts{}); err != nil {
+			t.Errorf("post-crash dispatch failed: %v", err)
+		}
+	})
+	sim2.Run()
+	if n := d.DRCClients(); n != 1 {
+		t.Errorf("fresh call after crash should rebuild the window: clients=%d", n)
 	}
 }
 

@@ -1,9 +1,11 @@
 package rpcrdma
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/des"
 	"repro/internal/ibsim"
@@ -98,6 +100,12 @@ type Config struct {
 	// honor those shrinking grants. Implies Shards (default 8).
 	Multiplex bool
 
+	// FetchPollDelay is the reply-fetch doorbell poll granularity (client
+	// side, ReplyFetch design only): the gap between the server's deposit
+	// landing in the reply slot and the client's poll loop observing it.
+	// Defaults to 1µs.
+	FetchPollDelay des.Duration
+
 	// Affinity pins each dispatch shard's reply processing to the CPU that
 	// services its completions (the shard's completion-vector CPU), so a
 	// worker wakes warm-cache on the core where the interrupt ran. Without
@@ -134,6 +142,9 @@ func (c *Config) defaults() {
 	}
 	if c.ReplyBufPool <= 0 {
 		c.ReplyBufPool = c.Credits
+	}
+	if c.FetchPollDelay <= 0 {
+		c.FetchPollDelay = time.Microsecond
 	}
 	if c.Multiplex && c.Shards <= 0 {
 		c.Shards = 8
@@ -184,7 +195,19 @@ type pending struct {
 	// Long call / long reply staging.
 	longCall *memreg.Chunk
 	replyChk *memreg.Chunk
+
+	// Reply-fetch slot (ReplyFetch design): a remotely writable chunk the
+	// server deposits the whole reply into, plus the doorbell watch the
+	// fetch poller blocks on.
+	slotChk    *memreg.Chunk
+	fetchWatch *ibsim.WriteWatch
 }
+
+// doorbellBytes is the reply-fetch doorbell word size: the first 8 bytes of
+// every reply slot. The server writes wireLen+1 there (nonzero even for an
+// empty reply) after the reply body, in a separate RDMA Write whose
+// in-order delivery makes the doorbell's arrival imply the body is placed.
+const doorbellBytes = 8
 
 // ClientTransport is the client endpoint of one RPC/RDMA connection. It
 // implements oncrpc.Transport and is safe for use by many simulated client
@@ -346,6 +369,24 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 		t.traceExposeWire(p, req.XID, hdr.ReplyChunk)
 	}
 
+	// Reply slot (ReplyFetch design): every call pre-registers a remotely
+	// writable slot — doorbell word plus reply capacity — and advertises it
+	// as the reply chunk. The whole reply (header, inline body, long
+	// replies included) is deposited there, so the slot subsumes the
+	// Read-Write long-reply chunk. This per-call MR is RFP's structural
+	// exposure: it is the *client* that opens its memory, which is exactly
+	// what the expose instants below let the invariant checkers price.
+	if t.cfg.Design == ReplyFetch {
+		capBytes := doorbellBytes + t.cfg.recvBufSize()
+		if req.LongReplyCap > 0 && req.LongReplyCap+256 > t.cfg.recvBufSize() {
+			capBytes = doorbellBytes + req.LongReplyCap + 256
+		}
+		pend.slotChk = t.mgr.Get(p, capBytes, ibsim.AccessLocalWrite|ibsim.AccessRemoteWrite)
+		hdr.ReplyChunk = clampSegsWire(pend.slotChk.Reg.Segments(), capBytes)
+		t.traceExposeWire(p, req.XID, hdr.ReplyChunk)
+		t.armFetch(pend, hdr.ReplyChunk[0])
+	}
+
 	// Long call: an oversized call travels as a position-0 read chunk under
 	// RDMA_NOMSG; the server pulls the message body with RDMA Read.
 	inline := req.Header
@@ -402,6 +443,18 @@ func (t *ClientTransport) Roundtrip(p *des.Proc, req *oncrpc.Request) (*oncrpc.R
 			tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindRetransmit, t.node.Name(), "retransmit", uint64(req.XID), int64(attempt))
 		}
 		pend.done = des.NewEvent(t.node.Sim())
+		if t.cfg.Design == ReplyFetch && pend.slotChk != nil {
+			// Re-arm the reply slot: zero the doorbell so the retransmitted
+			// call (same slot advertisement, same XID) gets a fresh deposit
+			// signal. The registration is reused verbatim — the wire bytes
+			// must be identical for the server's DRC to recognise the
+			// duplicate.
+			if d := pend.slotChk.Data(); d != nil {
+				for i := 0; i < doorbellBytes; i++ {
+					d[i] = 0
+				}
+			}
+		}
 		t.armTimer(pend.done, t.attemptTimeout(attempt))
 		t.qp.PostSend(&ibsim.SendWQE{WRID: uint64(req.XID), Op: ibsim.OpSend, Payload: wire})
 	}
@@ -497,7 +550,10 @@ func (t *ClientTransport) setupRecvPlacement(p *des.Proc, pend *pending, req *on
 	n := req.RecvBulk.Len
 	buf, off := bulkBuffer(req.RecvBulk)
 	switch t.cfg.Design {
-	case ReadWrite:
+	case ReadWrite, ReplyFetch:
+		// ReplyFetch keeps the Read-Write bulk path: data still lands by
+		// server RDMA Write into the advertised write list; only the reply
+		// *message* moves to the slot-deposit flow.
 		if buf != nil && req.DirectIO {
 			// Zero-copy direct I/O: expose the caller's buffer for the
 			// server's RDMA Write; data lands in place.
@@ -522,6 +578,66 @@ func (t *ClientTransport) setupRecvPlacement(p *des.Proc, pend *pending, req *on
 		pend.destBuf, pend.destOff = pend.destChk.Buf, 0
 		pend.needCopy = true
 	}
+}
+
+// armFetch spawns the reply-fetch poller for one call: it waits for the
+// server's deposit to land in the slot (write-watch on the doorbell word),
+// models the poll-loop detection delay, then decodes the deposited reply
+// and completes the call exactly as a received Send would. One poller spans
+// every retransmission attempt — the slot advertisement never changes.
+func (t *ClientTransport) armFetch(pend *pending, slot Segment) {
+	watch := t.node.HCA.WatchWrite(slot.Rkey, slot.Addr, doorbellBytes)
+	pend.fetchWatch = watch
+	t.node.Sim().Spawn(t.node.Name()+"/rpcrdma-fetch", func(fp *des.Proc) {
+		for {
+			if !watch.Wait(fp) || pend.aborted || t.closed {
+				return
+			}
+			d := pend.slotChk.Data()
+			if d == nil {
+				return
+			}
+			// Read the doorbell at the delivery instant: a retransmission
+			// racing this wakeup may zero it again, but the reply body
+			// behind it is never reset, so the captured length stays valid.
+			word := int(binary.LittleEndian.Uint64(d[:doorbellBytes]))
+			if word == 0 {
+				// The reset won the race; watch for the next deposit (the
+				// retransmitted call will be answered from the server DRC).
+				watch = t.node.HCA.WatchWrite(slot.Rkey, slot.Addr, doorbellBytes)
+				pend.fetchWatch = watch
+				continue
+			}
+			wireLen := word - 1
+			if wireLen < 0 || doorbellBytes+wireLen > len(d) {
+				return // corrupt deposit; the watchdog will retransmit
+			}
+			wire := append([]byte(nil), d[doorbellBytes:doorbellBytes+wireLen]...)
+			// The poll loop notices the doorbell one granularity later and
+			// copies the reply out of the slot on the client CPU — the fetch
+			// cost RFP shifts from server to client.
+			fp.Sleep(t.cfg.FetchPollDelay)
+			t.node.CPU.Copy(fp, wireLen)
+			if pend.aborted || t.closed {
+				return
+			}
+			hdr, body, err := DecodeHeader(wire)
+			if err != nil || hdr.XID != pend.req.XID {
+				return // undecodable deposit; the watchdog will retransmit
+			}
+			if t.cfg.DynamicCredits {
+				t.inflight.setGranted(int(hdr.Credits))
+			} else if t.cfg.Multiplex {
+				g := int(hdr.Credits)
+				if g > t.cfg.Credits {
+					g = t.cfg.Credits
+				}
+				t.inflight.setGranted(g)
+			}
+			t.handleReply(fp, pend, hdr, body)
+			return
+		}
+	})
 }
 
 // teardown performs the staging copy and releases per-call registrations.
@@ -570,6 +686,13 @@ func (t *ClientTransport) release(p *des.Proc, pend *pending) {
 	}
 	if pend.replyChk != nil {
 		t.mgr.Put(p, pend.replyChk)
+	}
+	if pend.fetchWatch != nil {
+		// Wake and retire the fetch poller before the slot goes away.
+		pend.fetchWatch.Cancel()
+	}
+	if pend.slotChk != nil {
+		t.mgr.Put(p, pend.slotChk)
 	}
 }
 
@@ -633,6 +756,12 @@ func (t *ClientTransport) handleReply(p *des.Proc, pend *pending, hdr *Header, b
 			for _, s := range hdr.WriteList {
 				res.bulkLen += int(s.Length)
 			}
+		case ReplyFetch:
+			for _, s := range hdr.WriteList {
+				res.bulkLen += int(s.Length)
+			}
+			// The deposit is consumed; recycle the server's parked staging.
+			t.sendDone(hdr.XID)
 		case ReadRead:
 			res.bulkLen, res.err = t.pullChunks(p, pend, hdr)
 		}

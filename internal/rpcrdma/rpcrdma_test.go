@@ -114,7 +114,7 @@ func pattern(n int, seed byte) []byte {
 }
 
 func testBothDesigns(t *testing.T, fn func(t *testing.T, design Design)) {
-	for _, d := range []Design{ReadWrite, ReadRead} {
+	for _, d := range []Design{ReadWrite, ReadRead, ReplyFetch} {
 		d := d
 		t.Run(d.String(), func(t *testing.T) { fn(t, d) })
 	}
@@ -207,7 +207,13 @@ func TestLongReply(t *testing.T) {
 					return
 				}
 			}
-			if e.st.LongReplies != 1 {
+			if design == ReplyFetch {
+				// The slot subsumes the long-reply chunk: the whole message is
+				// deposited, never sent as a NOMSG long reply.
+				if e.st.LongReplies != 0 || e.st.Deposits == 0 {
+					t.Errorf("reply-fetch: long replies = %d, deposits = %d", e.st.LongReplies, e.st.Deposits)
+				}
+			} else if e.st.LongReplies != 1 {
 				t.Errorf("server long replies = %d", e.st.LongReplies)
 			}
 		})

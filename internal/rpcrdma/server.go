@@ -1,6 +1,7 @@
 package rpcrdma
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/des"
@@ -123,14 +124,15 @@ type ServerTransport struct {
 	// Stats.
 	ConnsAccepted int64
 	ConnsRejected int64
-	Requests     int64
-	LongCalls    int64
-	LongReplies  int64
-	BulkReads    int64
-	BulkWrites   int64
-	DoneRecv     int64
-	ShortWrites  int64 // replies whose bulk exceeded the client's chunk capacity
-	TasksDropped int64 // queued tasks discarded because their connection died
+	Requests      int64
+	LongCalls     int64
+	LongReplies   int64
+	BulkReads     int64
+	BulkWrites    int64
+	DoneRecv      int64
+	ShortWrites   int64 // replies whose bulk exceeded the client's chunk capacity
+	TasksDropped  int64 // queued tasks discarded because their connection died
+	Deposits      int64 // reply-fetch replies deposited into client slots (no Send)
 }
 
 // NewServerTransport creates the server engine and starts its worker pool.
@@ -613,6 +615,8 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask, wcpu int) {
 		s.replyReadWrite(p, task, hdr, reply, bulkOut, replyStaging, wcpu)
 	case ReadRead:
 		s.replyReadRead(p, task, hdr, reply, bulkOut, replyStaging, wcpu)
+	case ReplyFetch:
+		s.replyReplyFetch(p, task, hdr, reply, bulkOut, replyStaging)
 	}
 }
 
@@ -900,6 +904,141 @@ func (s *ServerTransport) replyReadRead(p *des.Proc, task *serverTask, call *Hea
 	ev.Wait(p)
 	s.node.CPU.Interrupt(p)
 	s.migrate(p, conn, wcpu)
+}
+
+// replyReplyFetch delivers a reply-fetch (RFP) design reply: bulk is
+// RDMA-Written into the client's write list exactly as in Read-Write, then
+// the whole reply message is deposited into the client's advertised reply
+// slot with two more RDMA Writes — the encoded reply at slot+8, then the
+// doorbell word (wireLen+1) at slot+0. In-order Write delivery means the
+// doorbell's arrival implies everything before it is placed, so NO Send is
+// posted and the worker never blocks on a completion interrupt: the entire
+// send-processing + interrupt cost of the reply path disappears from the
+// server. The deposit staging stays parked until the client's RDMA_DONE
+// confirms it read the slot (same recycle flow as Read-Read).
+func (s *ServerTransport) replyReplyFetch(p *des.Proc, task *serverTask, call *Header, reply []byte, bulkOut *oncrpc.Bulk, staging *memreg.Chunk) {
+	rh := &Header{XID: call.XID, Credits: s.advertiseCredits(task.conn), Type: MsgRDMA}
+	conn := task.conn
+	if len(call.ReplyChunk) == 0 {
+		// No slot advertised: an RFP reply is undeliverable.
+		if staging != nil {
+			s.mgr.Put(p, staging)
+		}
+		return
+	}
+	slot := call.ReplyChunk[0]
+
+	outLen := 0
+	if bulkOut != nil {
+		outLen = bulkOut.Len
+	}
+	// Every RFP reply parks its deposit staging, so reserve the slot up
+	// front, before the serialized send path (same discipline as Read-Read).
+	if conn.replySlots != nil {
+		conn.replySlots.Acquire(p, 1)
+	} else {
+		s.replySlots.Acquire(p, 1)
+	}
+	// A retransmission answered from the DRC can deposit again while the
+	// first deposit still sits parked (the client never fetched it, so no
+	// DONE came). Retire the stale park first — one DONE will arrive for
+	// this XID at most, and it must release the fresh deposit, not leak it.
+	s.releaseParked(p, connXID{conn, call.XID})
+	if s.serial != nil {
+		s.serial.Acquire(p, 1)
+		p.Sleep(s.cfg.serialHold(outLen))
+	}
+
+	var park []*memreg.Chunk
+	if bulkOut != nil && bulkOut.Len > 0 && len(call.WriteList) > 0 {
+		if staging != nil {
+			s.mgr.RegisterChunk(p, staging, bulkOut.Len)
+		}
+		pushed, residual := s.pushBulk(p, conn, staging.Buf, bulkOut.Len, call.WriteList)
+		if residual > 0 {
+			s.ShortWrites++
+			s.traceShortWrite(p, task, call.XID, residual)
+		}
+		rh.WriteList = pushed
+		park = append(park, staging)
+		staging = nil
+	}
+	if staging != nil {
+		s.mgr.Put(p, staging) // no payload produced; release unregistered
+	}
+
+	wire := append(rh.Encode(), reply...)
+	if len(wire)+doorbellBytes > int(slot.Length) {
+		// The reply outgrew the client's slot; it cannot be delivered. The
+		// client's watchdog will time out and the retransmission hits the
+		// DRC — same terminal behaviour as an undeliverable long reply.
+		s.ShortWrites++
+		s.traceShortWrite(p, task, call.XID, len(wire)+doorbellBytes-int(slot.Length))
+		for _, c := range park {
+			s.mgr.Put(p, c)
+		}
+		if conn.replySlots != nil {
+			conn.replySlots.Release(1)
+		} else {
+			s.replySlots.Release(1)
+		}
+		if s.serial != nil {
+			s.serial.Release(1)
+		}
+		return
+	}
+
+	// Stage the deposit: [doorbell word | wire bytes] in one local-only
+	// chunk (staging is always materialized, so the bytes really cross).
+	depChk := s.mgr.Get(p, doorbellBytes+len(wire), ibsim.AccessLocalWrite)
+	if d := depChk.Data(); d != nil {
+		binary.LittleEndian.PutUint64(d[:doorbellBytes], uint64(len(wire))+1)
+		copy(d[doorbellBytes:], wire)
+	}
+	s.node.CPU.Copy(p, len(wire))
+	s.Deposits++
+	if tr := s.node.Sim().Tracer(); tr != nil {
+		tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindBulkWrite, s.node.Name(), "deposit",
+			conn.traceKey(call.XID), int64(len(wire)))
+	}
+	// Body first, doorbell last: the QP launches these in order and the
+	// port serializes their data, so the doorbell can only land after the
+	// reply (and any bulk pushed above) is already in client memory.
+	conn.post(&ibsim.SendWQE{
+		WRID: uint64(call.XID), Op: ibsim.OpWrite,
+		Local:     []ibsim.LocalSeg{{Buf: depChk.Buf, Off: doorbellBytes, Len: len(wire)}},
+		RemoteKey: slot.Rkey, RemoteAddr: slot.Addr + doorbellBytes,
+	})
+	conn.post(&ibsim.SendWQE{
+		WRID: uint64(call.XID), Op: ibsim.OpWrite,
+		Local:     []ibsim.LocalSeg{{Buf: depChk.Buf, Off: 0, Len: doorbellBytes}},
+		RemoteKey: slot.Rkey, RemoteAddr: slot.Addr,
+	})
+	if s.serial != nil {
+		s.serial.Release(1)
+	}
+	park = append(park, depChk)
+
+	if conn.dead {
+		// Died while the reply was being built: no DONE can ever release
+		// the park, so free everything now.
+		for _, c := range park {
+			s.mgr.Put(p, c)
+		}
+		if conn.replySlots != nil {
+			conn.replySlots.Release(1)
+		} else {
+			s.replySlots.Release(1)
+		}
+		return
+	}
+	conn.parked++
+	conn.parkedOrder = append(conn.parkedOrder, call.XID)
+	s.parked[connXID{conn, call.XID}] = &parkedReply{chunks: park}
+	if tr := s.node.Sim().Tracer(); tr != nil {
+		tr.Begin(int64(p.Now()), trace.LayerRPC, trace.KindParked, s.node.Name(), "parked",
+			conn.traceKey(call.XID), int64(len(park)))
+	}
 }
 
 // advertiseCredits computes the flow-control grant carried in reply

@@ -218,16 +218,16 @@ func (sh *serverShard) worker(p *des.Proc, wcpu int) {
 
 // ShardStat is one shard's externally visible counters.
 type ShardStat struct {
-	Shard         int
-	Conns         int   // live connections currently attached
-	Requests      int64 // messages dispatched
-	MaxQueueDepth int   // work-queue high-water mark
-	SRQPosted     int64
-	SRQConsumed   int64
+	Shard          int
+	Conns          int   // live connections currently attached
+	Requests       int64 // messages dispatched
+	MaxQueueDepth  int   // work-queue high-water mark
+	SRQPosted      int64
+	SRQConsumed    int64
 	SRQLimitEvents int64
-	SRQStarved    int64 // takes that found the pool empty (RNR stalls)
-	Endpoints     int   // live endpoints on the shared QP (multiplexed mode)
-	MuxSlots      int   // shared-QP slot-table high water (leak check)
+	SRQStarved     int64 // takes that found the pool empty (RNR stalls)
+	Endpoints      int   // live endpoints on the shared QP (multiplexed mode)
+	MuxSlots       int   // shared-QP slot-table high water (leak check)
 }
 
 // ShardStats snapshots per-shard counters; empty when dispatch is not

@@ -115,16 +115,24 @@ type Engine struct {
 	interval des.Duration
 	capacity int
 
-	series  []*Series
-	byName  map[string]*Series
-	windows []*Window
+	series    []*Series
+	byName    map[string]*Series
+	windows   []*Window
+	winByName map[string]*Window
 
 	times []int64 // shared sample clock ring, virtual ns
 	count int     // samples taken (may exceed capacity)
 	lastT int64
 
-	running  bool
-	stopFlag bool
+	running bool
+	// gen identifies the current sampler incarnation. Each Start bumps it
+	// and the spawned loop captures the value; a loop whose generation no
+	// longer matches exits without sampling. This is what makes
+	// Stop-then-Start safe: the old sampler may not see the stop until its
+	// next timer tick, and by then a restart has already spawned its
+	// replacement — without the generation check both would keep sampling
+	// forever, doubling the tick rate off-phase.
+	gen int
 }
 
 // New creates an engine bound to sim. The engine does not sample until
@@ -137,11 +145,12 @@ func New(sim *des.Sim, opts Options) *Engine {
 		opts.Capacity = DefaultCapacity
 	}
 	return &Engine{
-		sim:      sim,
-		interval: opts.Interval,
-		capacity: opts.Capacity,
-		byName:   make(map[string]*Series),
-		times:    make([]int64, opts.Capacity),
+		sim:       sim,
+		interval:  opts.Interval,
+		capacity:  opts.Capacity,
+		byName:    make(map[string]*Series),
+		winByName: make(map[string]*Window),
+		times:     make([]int64, opts.Capacity),
 	}
 }
 
@@ -196,34 +205,43 @@ func (e *Engine) Counter(name string, probe func() float64) *Series {
 }
 
 // LatencyWindow registers a per-interval latency aggregator producing the
-// series name.p50_us, name.p99_us and name.rate. Safe on a nil receiver
-// (returns nil, whose Observe is a no-op).
+// series name.p50_us, name.p99_us and name.rate. A repeat call with the
+// same name returns the existing Window, mirroring register's re-point
+// semantics — a workload re-run on the same cluster must not leak a second
+// aggregator (reset every tick forever) or restart the .rate baseline.
+// Safe on a nil receiver (returns nil, whose Observe is a no-op).
 func (e *Engine) LatencyWindow(name string) *Window {
 	if e == nil {
 		return nil
+	}
+	if w := e.winByName[name]; w != nil {
+		return w
 	}
 	w := &Window{}
 	e.register(name+".p50_us", Gauge, func() float64 { return w.hist.Quantile(0.50) })
 	e.register(name+".p99_us", Gauge, func() float64 { return w.hist.Quantile(0.99) })
 	e.register(name+".rate", Rate, func() float64 { return float64(w.total) })
 	e.windows = append(e.windows, w)
+	e.winByName[name] = w
 	return w
 }
 
 // Start begins sampling: an immediate baseline sample, then one every
 // interval until Stop. Idempotent while running; restarting after Stop
-// resumes on the same rings.
+// resumes on the same rings. The new sampler supersedes any stopped one
+// still waiting out its final timer tick (see Engine.gen).
 func (e *Engine) Start(p *des.Proc) {
 	if e == nil || e.running {
 		return
 	}
 	e.running = true
-	e.stopFlag = false
+	e.gen++
+	gen := e.gen
 	e.sampleOnce(int64(p.Now()))
 	e.sim.Spawn("telemetry-sampler", func(sp *des.Proc) {
 		for {
 			sp.Sleep(e.interval)
-			if e.stopFlag {
+			if gen != e.gen || !e.running {
 				return
 			}
 			e.sampleOnce(int64(sp.Now()))
@@ -238,7 +256,6 @@ func (e *Engine) Stop() {
 		return
 	}
 	e.running = false
-	e.stopFlag = true
 	e.sampleOnce(int64(e.sim.Now()))
 }
 

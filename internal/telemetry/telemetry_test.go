@@ -282,6 +282,85 @@ func TestLateRegistrationPadsCSV(t *testing.T) {
 	}
 }
 
+// TestStopStartNoDoubleSampler is the regression test for the
+// Start-after-Stop double-sampler leak: Stop's signal was only seen by the
+// old sampler on its NEXT timer tick, so a restart landing before that tick
+// cleared the signal and spawned a second sampler — both then ran forever,
+// doubling the sample rate with off-phase ticks. Post-fix, Samples() must
+// advance at exactly one tick per interval after the restart.
+func TestStopStartNoDoubleSampler(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	e.Gauge("g", func() float64 { return 1 })
+	sim.Spawn("driver", func(p *des.Proc) {
+		e.Start(p)
+		p.Sleep(15 * time.Microsecond)
+		e.Stop() // the old sampler's next tick would land at t=20µs
+		p.Sleep(1 * time.Microsecond)
+		e.Start(p) // restart at t=16µs, before that tick
+		base := e.Samples()
+		p.Sleep(100 * time.Microsecond)
+		e.Stop()
+		// One sampler, restarted at t=16µs: interior ticks at t=26..106µs
+		// (9 of them), then the Stop tail sample at t=116µs. A leaked second
+		// sampler would roughly double this.
+		if got := e.Samples() - base; got != 10 {
+			t.Errorf("samples advanced %d over 100µs at a 10µs interval; want 10 (one per interval + tail)", got)
+		}
+	})
+	sim.Run()
+}
+
+// TestLatencyWindowReuse is the regression test for the LatencyWindow
+// re-registration leak: a second call with the same name used to re-point
+// the p50/p99/rate probes at a fresh Window while appending it to
+// e.windows — leaking the old aggregator (reset every tick forever) and
+// restarting the .rate series' cumulative baseline. It must reuse the
+// existing Window, mirroring register's re-point semantics.
+func TestLatencyWindowReuse(t *testing.T) {
+	sim := des.New()
+	e := New(sim, Options{Interval: 10 * time.Microsecond})
+	sim.Spawn("driver", func(p *des.Proc) {
+		w1 := e.LatencyWindow("lat")
+		e.Start(p)
+		w1.Observe(100)
+		p.Sleep(10*time.Microsecond + 10*time.Nanosecond)
+		e.Stop()
+		// Second measurement phase on the same engine (a workload re-run on
+		// one cluster registers its series again).
+		w2 := e.LatencyWindow("lat")
+		if w2 != w1 {
+			t.Error("LatencyWindow re-registration returned a fresh aggregator")
+		}
+		if len(e.windows) != 1 {
+			t.Errorf("aggregator leak: %d windows registered under one name", len(e.windows))
+		}
+		e.Start(p)
+		w2.Observe(200)
+		p.Sleep(10*time.Microsecond + 10*time.Nanosecond)
+		e.Stop()
+	})
+	sim.Run()
+	// The reused window's cumulative total spans both phases, so the .rate
+	// baseline never restarts and both observation batches are visible.
+	rate := e.Report().Get("lat.rate")
+	if rate == nil {
+		t.Fatal("rate series missing")
+	}
+	positive := 0
+	for _, v := range rate.Values {
+		if v < 0 {
+			t.Fatalf("negative rate after re-registration: %v", rate.Values)
+		}
+		if v > 0 {
+			positive++
+		}
+	}
+	if positive < 2 {
+		t.Fatalf("rate lost a phase's observations: %v", rate.Values)
+	}
+}
+
 // TestStopStartResumes checks that a second Start (a second measurement
 // phase on the same cluster) keeps appending to the same rings.
 func TestStopStartResumes(t *testing.T) {

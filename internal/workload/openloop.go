@@ -63,16 +63,16 @@ func (c *OpenLoopConfig) defaults() {
 
 // OpenLoopResult is the measured outcome of one open-loop run.
 type OpenLoopResult struct {
-	OfferedMBps  float64 // aggregate offered load
-	AchievedMBps float64 // completed bytes over the full run incl. drain
-	Issued       int64   // arrivals inside the window
-	Completed    int64   // requests that finished successfully
-	Dropped      int64   // arrivals rejected at the outstanding cap
-	Errors       int64
-	Latency      stats.Histogram // per-request latency, µs
-	P50, P95, P99 float64        // µs
-	ServerCPUPct float64
-	Elapsed      des.Time
+	OfferedMBps   float64 // aggregate offered load
+	AchievedMBps  float64 // completed bytes over the full run incl. drain
+	Issued        int64   // arrivals inside the window
+	Completed     int64   // requests that finished successfully
+	Dropped       int64   // arrivals rejected at the outstanding cap
+	Errors        int64
+	Latency       stats.Histogram // per-request latency, µs
+	P50, P95, P99 float64         // µs
+	ServerCPUPct  float64
+	Elapsed       des.Time
 
 	// ServerRecvStateBytes is the server transport's receive-side control
 	// memory for the run's client population (RDMA transport only) — the

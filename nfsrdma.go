@@ -57,7 +57,8 @@ type (
 	// Histogram is the log-scale latency histogram used by
 	// Client.NFS.EnableLatencyStats.
 	Histogram = stats.Histogram
-	// Design selects the bulk-transfer protocol (Read-Write vs Read-Read).
+	// Design selects the transfer protocol (Read-Write, Read-Read, or
+	// Reply-Fetch).
 	Design = rpcrdma.Design
 	// RegMode selects a §4.3 memory-registration strategy.
 	RegMode = memreg.Mode
@@ -85,6 +86,11 @@ const (
 	// DesignReadRead is the original design: the server advertises its
 	// buffers as read chunks and depends on the client's RDMA_DONE.
 	DesignReadRead = rpcrdma.ReadRead
+	// DesignReplyFetch inverts the reply path: the client pre-registers a
+	// remotely writable reply slot per call and the server deposits the
+	// whole reply with RDMA Writes (doorbell last) instead of a Send —
+	// exposure moves to the client, the server's send path disappears.
+	DesignReplyFetch = rpcrdma.ReplyFetch
 )
 
 // Registration strategies (§4.3).

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet faults trace-check scale-check chaos-check mux-check telemetry-check rfp-check race-runner bench bench-record bench-compare
+.PHONY: build test check vet faults trace-check scale-check chaos-check mux-check telemetry-check rfp-check adversary-check race-runner bench bench-record bench-compare
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,20 @@ test:
 # detector. The parallel sweep runner makes simulations genuinely
 # concurrent, so -race here guards the "no shared mutable state between
 # sims" invariant, not just test hygiene.
-check: vet faults trace-check scale-check chaos-check mux-check telemetry-check rfp-check
+check: vet faults trace-check scale-check chaos-check mux-check telemetry-check rfp-check adversary-check
 	$(GO) test -race ./...
+
+# adversary-check runs the attack suite under the race detector: the ibsim
+# access-flag/bounds enforcement matrix and FMR remap-window tests, the
+# forged-DONE regression tests (dedicated, sharded, and shared-QP paths),
+# the fixed-seed adversary experiments (rkey scan TTC ranking, spoof
+# quarantine scoping, DRC forgery isolation, attack-under-chaos, same-seed
+# byte-identity), and the experiment-level sweep including its
+# sequential-vs-parallel determinism check.
+adversary-check:
+	$(GO) test -race ./internal/adversary/
+	$(GO) test -race -run 'Adversary|Forged|Spoof|Quarantine|AccessEnforcement|RemapWindow|Hoard|Malicious' \
+		./internal/ibsim/ ./internal/rpcrdma/ ./internal/experiments/
 
 # chaos-check runs the chaos engine under the race detector: the seeded
 # fault-schedule generator, the crash/restart primitive, the data-integrity

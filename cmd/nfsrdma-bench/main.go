@@ -44,6 +44,18 @@
 // duplicate request cache — the deliberately broken server the oracle is
 // designed to catch.
 //
+// With -adversary the command runs the full attack suite (see
+// internal/adversary) from a seeded attacker client against a live cluster
+// instead of IOzone: rkey scanning, spoofed RDMA_DONE messages, forged
+// client credentials against the DRC, and stale-rkey probes, reporting
+// time-to-compromise, the server's defensive counters, and the integrity
+// oracle's blast radius over the victim clients. -adversary-seed picks the
+// run, -adversary-hardened flips the cluster to the hardened posture
+// (randomized rkeys, FMR key rotation, stream-claim validation, peer-keyed
+// DRC, misbehavior quarantine), and -adversary-faults composes a chaos
+// fault schedule with the attack; -design, -reg, -shards and -mux select
+// the surface under attack.
+//
 // -telemetry FILE samples per-layer gauges and counter rates on a
 // virtual-time timer (period -telemetry-interval) during -openloop and
 // -chaos runs and writes the series to FILE (.json for a JSON report,
@@ -61,6 +73,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/des"
@@ -146,6 +159,10 @@ func main() {
 	affinity := flag.Bool("affinity", false, "pin shard reply processing to the completion CPU (sharded dispatch)")
 	maxConns := flag.Int("max-conns", 0, "server admission-control connection cap (0 = unlimited)")
 	maxOut := flag.Int("max-outstanding", 32, "per-client in-flight cap before drops (-openloop)")
+	adversaryRun := flag.Bool("adversary", false, "run the attacker client against a live cluster instead of IOzone")
+	adversarySeed := flag.Uint64("adversary-seed", 1, "attacker/cluster seed (-adversary)")
+	adversaryHardened := flag.Bool("adversary-hardened", false, "run the hardened security posture (-adversary)")
+	adversaryFaults := flag.Int("adversary-faults", 0, "compose a chaos fault schedule with the attack (-adversary)")
 	chaosRun := flag.Bool("chaos", false, "run one seeded chaos schedule instead of IOzone")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-schedule seed (-chaos)")
 	chaosFaults := flag.Int("chaos-faults", 4, "faults in the generated schedule (-chaos)")
@@ -238,6 +255,11 @@ func main() {
 	cfg.Affinity = *affinity
 	if cfg.Multiplex && cfg.ServerShards == 0 {
 		cfg.ServerShards = 8
+	}
+
+	if *adversaryRun {
+		runAdversary(cfg, *adversarySeed, *adversaryHardened, *adversaryFaults)
+		return
 	}
 
 	if *chaosRun {
@@ -406,6 +428,49 @@ func runOpenLoop(cfg core.Config, record int, fileSize int64, offeredMBps float6
 		}
 	}
 	tf.emit(cluster.TelemetryReport())
+}
+
+// runAdversary runs the full attack suite from one seeded attacker client
+// against a live cluster and prints the run's security verdict:
+// time-to-compromise (censored to the run end if nothing landed), the
+// per-attack counters, the server's defensive counters, and the integrity
+// oracle's blast radius over the victim clients. Exit status 1 when any
+// victim's data was corrupted.
+func runAdversary(cfg core.Config, seed uint64, hardened bool, faults int) {
+	res := adversary.Run(adversary.Config{
+		Seed:      seed,
+		Design:    cfg.Design,
+		RegMode:   cfg.RegMode,
+		Shards:    cfg.ServerShards,
+		Multiplex: cfg.Multiplex,
+		Hardened:  hardened,
+		Attacks:   adversary.AttackAll,
+		Faults:    faults,
+	})
+	fmt.Printf("adversary seed=%d design=%v reg=%v mux=%v hardened=%v faults=%d\n",
+		seed, cfg.Design, cfg.RegMode, cfg.Multiplex, hardened, res.FaultCount)
+	if res.Compromised {
+		fmt.Printf("compromised at t=%v via %s\n", time.Duration(res.TimeToCompromise), res.CompromiseVia)
+	} else {
+		fmt.Printf("not compromised (time-to-compromise censored at %v)\n", time.Duration(res.FinalTime))
+	}
+	fmt.Printf("scan: probes=%d hits=%d writeHits=%d reconnects=%d   stale: sent=%d hits=%d\n",
+		res.Probes, res.ProbeHits, res.WriteHits, res.Reconnects, res.StaleSent, res.StaleHits)
+	fmt.Printf("spoof: sent=%d   forge: sent=%d failed=%d\n", res.SpoofSent, res.ForgeSent, res.ForgeFails)
+	fmt.Printf("server: doneRejected=%d spoofDrops=%d crossClientFrees=%d quarantines=%d\n",
+		res.DoneRejected, res.SpoofDrops, res.CrossClientFrees, res.Quarantines)
+	fmt.Printf("victims: writesAcked=%d reads=%d reconnects=%d crashes=%d blastRadius=%d\n",
+		res.Load.WritesAcked, res.Load.ReadsChecked, res.VictimRecon, res.Crashes, res.BlastRadius)
+	fmt.Printf("fingerprint: %s\n", res.Fingerprint)
+	if len(res.Violations) == 0 {
+		fmt.Println("verdict: victims CLEAN (integrity oracle satisfied)")
+		return
+	}
+	fmt.Printf("verdict: victims CORRUPTED (%d violations)\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  oracle: %s\n", v)
+	}
+	os.Exit(1)
 }
 
 // runChaos executes one seeded chaos schedule, prints the schedule and the

@@ -70,7 +70,7 @@ type figureBench struct {
 func main() {
 	scale := flag.Int("scale", 4, "workload scale divisor (1 = paper sizes)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
-	only := flag.String("only", "", "comma-separated subset: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations,recovery,capacity,muxcap,chaos")
+	only := flag.String("only", "", "comma-separated subset: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10a,fig10b,ablations,recovery,capacity,muxcap,chaos,adversary")
 	workers := flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per core, 1 = sequential)")
 	benchOut := flag.String("bench-out", "", "write a JSON wall-clock benchmark record to this file")
 	benchNote := flag.String("bench-note", "", "free-form annotation stored in the benchmark record")
@@ -94,7 +94,7 @@ func main() {
 	if *traceOut != "" && len(want) > 0 {
 		want["fig4"] = true
 	}
-	known := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations", "recovery", "capacity", "muxcap", "chaos"}
+	known := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "ablations", "recovery", "capacity", "muxcap", "chaos", "adversary"}
 	for k := range want {
 		found := false
 		for _, ok := range known {
@@ -227,6 +227,13 @@ func main() {
 	if sel("chaos") {
 		timed("chaos", func() int {
 			r := experiments.RunChaos(s)
+			emit(r.Table)
+			return len(r.Points)
+		})
+	}
+	if sel("adversary") {
+		timed("adversary", func() int {
+			r := experiments.RunAdversary(s)
 			emit(r.Table)
 			return len(r.Points)
 		})

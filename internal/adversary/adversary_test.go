@@ -1,0 +1,217 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/memreg"
+	"repro/internal/rpcrdma"
+)
+
+// scanConfig is the rkey-scan experiment: attacker only scans, victims run
+// the integrity-checked load.
+func scanConfig(mode memreg.Mode, hardened bool) Config {
+	return Config{
+		Seed:        7,
+		Design:      rpcrdma.ReadRead,
+		RegMode:     mode,
+		Clients:     2,
+		Hardened:    hardened,
+		Attacks:     AttackRkeyScan,
+		ProbeBudget: 1200,
+	}
+}
+
+// TestAllPhysicalTTC is the paper's §4.3 security ranking made executable:
+// the all-physical strategy's single global steering tag falls to an
+// enumerating scanner orders of magnitude faster than per-I/O regular
+// registration, whose keys are transient and always ahead of the scan.
+func TestAllPhysicalTTC(t *testing.T) {
+	ap := Run(scanConfig(memreg.AllPhysical, false))
+	if !ap.Compromised {
+		t.Fatalf("all-physical + sequential rkeys must fall to the scan: %s", ap.Fingerprint)
+	}
+	if ap.WriteHits == 0 {
+		t.Fatalf("all-physical global key is writable; spray must land: %s", ap.Fingerprint)
+	}
+	reg := Run(scanConfig(memreg.Regular, false))
+	if reg.Compromised && reg.TimeToCompromise < ap.TimeToCompromise*100 {
+		t.Fatalf("regular registration fell too fast: ttc=%d vs all-physical %d",
+			reg.TimeToCompromise, ap.TimeToCompromise)
+	}
+	if ap.TimeToCompromise*100 > reg.TimeToCompromise {
+		t.Fatalf("want all-physical TTC (%d) two orders of magnitude under regular (censored %d)",
+			ap.TimeToCompromise, reg.TimeToCompromise)
+	}
+}
+
+// TestHardenedRandomizedKeysResistScan: with randomized allocation even the
+// global all-physical key hides in a 2^32 space; a budget-bounded scan must
+// not land.
+func TestHardenedRandomizedKeysResistScan(t *testing.T) {
+	r := Run(scanConfig(memreg.AllPhysical, true))
+	if r.Compromised {
+		t.Fatalf("scan compromised hardened all-physical: %s", r.Fingerprint)
+	}
+	if r.ProbeHits != 0 || r.WriteHits != 0 {
+		t.Fatalf("no probe may land under randomized rkeys: %s", r.Fingerprint)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("victims corrupted: %v", r.Violations)
+	}
+}
+
+// TestServersSurviveScanAndSpoof: the Read-Write and reply-fetch servers
+// never advertise server memory, and hardened DONE handling verifies
+// ownership — scanning plus forged DONEs must produce zero oracle
+// violations and zero cross-client frees.
+func TestServersSurviveScanAndSpoof(t *testing.T) {
+	for _, design := range []rpcrdma.Design{rpcrdma.ReadWrite, rpcrdma.ReplyFetch} {
+		cfg := Config{
+			Seed:     11,
+			Design:   design,
+			RegMode:  memreg.Regular,
+			Clients:  2,
+			Hardened: true,
+			Attacks:  AttackRkeyScan | AttackSpoofDone,
+		}
+		r := Run(cfg)
+		if len(r.Violations) != 0 {
+			t.Fatalf("%v: oracle violations under attack: %v", design, r.Violations)
+		}
+		if r.CrossClientFrees != 0 {
+			t.Fatalf("%v: cross-client frees: %s", design, r.Fingerprint)
+		}
+		if r.Compromised {
+			t.Fatalf("%v: hardened server compromised: %s", design, r.Fingerprint)
+		}
+		if r.Load.WritesAcked == 0 {
+			t.Fatalf("%v: victim load did not run: %s", design, r.Fingerprint)
+		}
+	}
+}
+
+// TestQuarantineScopedToAttacker: on a shared multiplexed QP, misbehavior
+// scoring must terminate only the attacker's endpoint — victims on the same
+// QP see no reconnects and no corruption while the server racks up
+// quarantines.
+func TestQuarantineScopedToAttacker(t *testing.T) {
+	r := Run(Config{
+		Seed:        5,
+		Design:      rpcrdma.ReadRead,
+		RegMode:     memreg.Regular,
+		Clients:     3,
+		Multiplex:   true,
+		Hardened:    true,
+		Attacks:     AttackSpoofDone,
+		SpoofBudget: 64,
+	})
+	if r.Quarantines == 0 {
+		t.Fatalf("spoof burst must trip quarantine: %s", r.Fingerprint)
+	}
+	if r.SpoofDrops == 0 {
+		t.Fatalf("forged stream claims must be dropped: %s", r.Fingerprint)
+	}
+	if r.VictimRecon != 0 {
+		t.Fatalf("an innocent endpoint was killed (victim reconnects=%d): %s", r.VictimRecon, r.Fingerprint)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("victims corrupted: %v", r.Violations)
+	}
+	if r.CrossClientFrees != 0 {
+		t.Fatalf("hardened server freed cross-client: %s", r.Fingerprint)
+	}
+	if r.Load.WritesAcked == 0 {
+		t.Fatalf("victim load did not complete: %s", r.Fingerprint)
+	}
+}
+
+// TestVulnerableMuxSpoofMeasured: with trusted stream claims the same spoof
+// burst reaches the DONE handler impersonating victims; the run must record
+// the traffic (rejected or freed) rather than silently dropping it.
+func TestVulnerableMuxSpoofMeasured(t *testing.T) {
+	r := Run(Config{
+		Seed:        5,
+		Design:      rpcrdma.ReadRead,
+		RegMode:     memreg.Regular,
+		Clients:     3,
+		Multiplex:   true,
+		Hardened:    false,
+		Attacks:     AttackSpoofDone,
+		SpoofBudget: 64,
+	})
+	if r.SpoofSent == 0 {
+		t.Fatalf("no spoofs sent: %s", r.Fingerprint)
+	}
+	if r.SpoofDrops != 0 {
+		t.Fatalf("trusting server must not drop spoofs: %s", r.Fingerprint)
+	}
+	if r.Quarantines != 0 {
+		t.Fatalf("vulnerable posture has no quarantine: %s", r.Fingerprint)
+	}
+	if r.DoneRejected+r.CrossClientFrees == 0 {
+		t.Fatalf("forged DONEs disappeared without trace: %s", r.Fingerprint)
+	}
+}
+
+// TestAttackUnderChaos composes the full attack suite with a generated
+// fault schedule. The hardened stack must keep every victim's data intact
+// while faults and the attacker interleave.
+func TestAttackUnderChaos(t *testing.T) {
+	r := Run(Config{
+		Seed:     3,
+		Design:   rpcrdma.ReadWrite,
+		RegMode:  memreg.Regular,
+		Clients:  2,
+		Hardened: true,
+		Attacks:  AttackAll,
+		Faults:   4,
+	})
+	if r.FaultCount == 0 {
+		t.Fatalf("no faults composed: %s", r.Fingerprint)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("oracle violations under attack+chaos: %v", r.Violations)
+	}
+	if r.Compromised {
+		t.Fatalf("hardened stack compromised under chaos: %s", r.Fingerprint)
+	}
+}
+
+// TestDeterminism: identical configs must produce byte-identical runs.
+func TestDeterminism(t *testing.T) {
+	configs := []Config{
+		scanConfig(memreg.AllPhysical, false),
+		{Seed: 5, Design: rpcrdma.ReadRead, RegMode: memreg.Regular, Clients: 3,
+			Multiplex: true, Hardened: true, Attacks: AttackAll, Faults: 3},
+		{Seed: 9, Design: rpcrdma.ReplyFetch, RegMode: memreg.FMR, Clients: 2,
+			Hardened: false, Attacks: AttackAll},
+	}
+	for i, cfg := range configs {
+		a, b := Run(cfg), Run(cfg)
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("config %d not deterministic:\n  %s\n  %s", i, a.Fingerprint, b.Fingerprint)
+		}
+	}
+}
+
+// TestDRCForgeIsolatedByPeerKeying: the forged-credential attack floods the
+// duplicate request cache under the victim's machine name; hardened keying
+// pins those entries to the transport-authenticated peer, so victims stay
+// clean.
+func TestDRCForgeIsolatedByPeerKeying(t *testing.T) {
+	r := Run(Config{
+		Seed:        13,
+		Design:      rpcrdma.ReadWrite,
+		RegMode:     memreg.Regular,
+		Clients:     2,
+		Hardened:    true,
+		Attacks:     AttackDRCForge,
+		ForgeBudget: 24,
+	})
+	if r.ForgeSent == 0 {
+		t.Fatalf("forged calls did not run: %s", r.Fingerprint)
+	}
+	if len(r.Violations) != 0 {
+		t.Fatalf("peer-keyed DRC leaked attacker entries to victims: %v", r.Violations)
+	}
+}

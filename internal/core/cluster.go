@@ -125,6 +125,19 @@ type Config struct {
 	// penalty (zero keeps the profile's value; see cpu.Model.Migrate).
 	MigrationCost des.Duration
 
+	// Security posture knobs, exercised by the adversary engine. The
+	// defaults are the hardened configuration; the three Trust*/Sequential
+	// switches re-open the pre-hardening holes so attacks can be measured.
+	// SequentialRkeys makes every node allocate steering tags sequentially
+	// (trivially guessable); FMRKeyRotate rotates FMR tags per remap;
+	// TrustStreamClaims/TrustCredDRC/QuarantineThreshold map onto
+	// rpcrdma.Config (see there).
+	SequentialRkeys     bool
+	FMRKeyRotate        bool
+	TrustStreamClaims   bool
+	TrustCredDRC        bool
+	QuarantineThreshold int
+
 	Seed uint64
 }
 
@@ -203,6 +216,10 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	serverNodeCfg.Name = "server"
 	serverNodeCfg.Seed = cfg.Seed * 31
+	serverNodeCfg.SequentialRkeys = cfg.SequentialRkeys
+	serverNodeCfg.FMRKeyRotate = cfg.FMRKeyRotate
+	clientNodeCfg.SequentialRkeys = cfg.SequentialRkeys
+	clientNodeCfg.FMRKeyRotate = cfg.FMRKeyRotate
 	if cfg.MigrationCost > 0 {
 		serverNodeCfg.MigrationCost = cfg.MigrationCost
 	}
@@ -261,6 +278,9 @@ func NewCluster(cfg Config) *Cluster {
 			sCfg.MaxConns = cfg.MaxConns
 			sCfg.Multiplex = cfg.Multiplex
 			sCfg.Affinity = cfg.Affinity
+			sCfg.TrustStreamClaims = cfg.TrustStreamClaims
+			sCfg.TrustCredDRC = cfg.TrustCredDRC
+			sCfg.QuarantineThreshold = cfg.QuarantineThreshold
 			if cfg.SRQDepth > 0 {
 				sCfg.SRQDepth = cfg.SRQDepth
 			}

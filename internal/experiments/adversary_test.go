@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/memreg"
+)
+
+// adversaryDigest flattens a sweep to a comparable string. Points hold
+// result pointers, so the digest goes through the per-run fingerprints
+// (which encode every counter) rather than %+v.
+func adversaryDigest(r *Adversary) string {
+	var b strings.Builder
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%v/%v vuln{%s} hard{%s}\n", pt.Design, pt.Mode,
+			pt.Vuln.Fingerprint, pt.Hardened.Fingerprint)
+	}
+	b.WriteString(r.Table.String())
+	return b.String()
+}
+
+// TestAdversarySweep is the attack-sweep acceptance check: the table covers
+// every design x registration mode, the all-physical strategy falls to the
+// scan orders of magnitude before regular registration does, and the
+// hardened posture holds every cell — no compromise, no victim corruption,
+// no cross-client frees.
+func TestAdversarySweep(t *testing.T) {
+	r := RunAdversary(testScale)
+	if len(r.Points) != 12 {
+		t.Fatalf("points = %d, want 12 (3 designs x 4 registration modes)", len(r.Points))
+	}
+	apCompromised := false
+	for _, pt := range r.Points {
+		if pt.Mode == memreg.AllPhysical && pt.Vuln.Compromised {
+			apCompromised = true
+		}
+		if pt.Mode == memreg.Regular && pt.Vuln.Compromised {
+			t.Errorf("%v/regular: transient registrations fell to the scan: %s",
+				pt.Design, pt.Vuln.Fingerprint)
+		}
+		if pt.Hardened.Compromised {
+			t.Errorf("%v/%v: hardened posture compromised: %s",
+				pt.Design, pt.Mode, pt.Hardened.Fingerprint)
+		}
+		if n := len(pt.Hardened.Violations); n != 0 {
+			t.Errorf("%v/%v: hardened victims corrupted: %v", pt.Design, pt.Mode, pt.Hardened.Violations)
+		}
+		if pt.Hardened.CrossClientFrees != 0 || pt.Hardened.BlastRadius != 0 {
+			t.Errorf("%v/%v: hardened cross-frees=%d blast=%d, want 0/0",
+				pt.Design, pt.Mode, pt.Hardened.CrossClientFrees, pt.Hardened.BlastRadius)
+		}
+		if pt.Vuln.Load.WritesAcked == 0 || pt.Hardened.Load.WritesAcked == 0 {
+			t.Errorf("%v/%v: victim load did not run", pt.Design, pt.Mode)
+		}
+	}
+	if !apCompromised {
+		t.Error("no all-physical cell was compromised; the sweep lost its headline result")
+	}
+	ap, reg := r.FastestCompromise(memreg.AllPhysical), r.FastestCompromise(memreg.Regular)
+	if ap*100 > reg {
+		t.Errorf("all-physical TTC %d not two orders of magnitude under regular (censored %d)", ap, reg)
+	}
+}
+
+// TestAdversarySweepSequentialAndParallelIdentical asserts the sweep is
+// deterministic across worker counts, like every other sweep in the package.
+func TestAdversarySweepSequentialAndParallelIdentical(t *testing.T) {
+	SetParallelism(1)
+	seq := RunAdversary(testScale)
+	SetParallelism(8)
+	par := RunAdversary(testScale)
+	SetParallelism(0)
+
+	if ds, dp := adversaryDigest(seq), adversaryDigest(par); ds != dp {
+		t.Fatalf("sequential and parallel adversary sweeps diverged:\n--- sequential ---\n%s\n--- parallel ---\n%s", ds, dp)
+	}
+}

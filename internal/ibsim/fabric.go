@@ -126,6 +126,20 @@ type NodeConfig struct {
 	// MeanPhysRun overrides the memory physical-contiguity model when > 0.
 	MeanPhysRun int
 
+	// SequentialRkeys switches steering-tag allocation from the default
+	// randomized draw to a sequential counter, modelling mlx4-era drivers
+	// that handed out monotonically increasing keys. Sequential tags make
+	// rkey guessing trivial — an attacker scans upward from 1 — which is
+	// exactly what the adversary experiments measure against the default.
+	SequentialRkeys bool
+
+	// FMRKeyRotate allocates a fresh steering tag on every FMR re-map
+	// instead of reusing the handle's pool-time tag. Reuse is what opens
+	// the FMR remap window: a peer holding a pre-remap rkey silently
+	// addresses whatever the handle maps next. Rotation closes the window
+	// at the cost of one tag allocation per remap.
+	FMRKeyRotate bool
+
 	Seed uint64
 }
 

@@ -240,6 +240,12 @@ func (m *Memory) Free(b *Buffer) {
 // tests (e.g. the malicious-client buffer-pinning experiment).
 func (m *Memory) AllocatedBytes() int64 { return m.allocated }
 
+// Watermark returns the bump allocator's high-water address: every buffer
+// ever allocated lives below it. The adversary engine samples probe
+// addresses uniformly under the victim's watermark — the best an attacker
+// who knows the allocator's shape but not its contents can do.
+func (m *Memory) Watermark() uint64 { return m.next }
+
 func min(a, b int) int {
 	if a < b {
 		return a

@@ -86,6 +86,10 @@ type HCA struct {
 
 	globalMR *MR
 
+	// tagSeq is the last steering tag handed out in sequential-allocation
+	// mode (NodeConfig.SequentialRkeys); unused under randomized draws.
+	tagSeq uint32
+
 	// watches are write-watch doorbells (see watch.go), keyed by rkey.
 	// Nil until the first WatchWrite, so non-RFP runs pay one nil check
 	// per delivered Write.
@@ -127,6 +131,21 @@ func (h *HCA) pages(length int) int {
 }
 
 func (h *HCA) allocTag() uint32 {
+	if h.cfg.SequentialRkeys {
+		// Sequential tags, as mlx4-era drivers allocated them: the next
+		// key is always last+1, so a malicious peer scanning upward from 1
+		// hits every live registration. Kept as an opt-in policy precisely
+		// so the adversary experiments can measure how bad it is.
+		for {
+			h.tagSeq++
+			if h.tagSeq == 0 {
+				h.tagSeq = 1
+			}
+			if _, exists := h.tpt[h.tagSeq]; !exists {
+				return h.tagSeq
+			}
+		}
+	}
 	for {
 		// 32-bit steering tags, as in the paper's security discussion: large
 		// enough that guessing is improbable per attempt, small enough that a
@@ -249,6 +268,13 @@ func (h *HCA) NewFMRHandle(p *des.Proc, maxLen int) *FMRHandle {
 // MaxLen returns the largest mappable region.
 func (f *FMRHandle) MaxLen() int { return f.maxLen }
 
+// Rkey returns the handle's current steering tag. Without FMRKeyRotate it is
+// fixed for the handle's lifetime — the property the remap-window tests pin.
+func (f *FMRHandle) Rkey() uint32 { return f.rkey }
+
+// Remaps returns how many times the handle has been mapped.
+func (f *FMRHandle) Remaps() int { return f.remaps }
+
 // Map binds the handle's steering tag to a buffer range. Cost is pin +
 // translate only (host CPU); no I/O-bus wait — this is what makes FMR
 // "considerably faster than a regular registration call" (§4.3).
@@ -260,6 +286,18 @@ func (f *FMRHandle) Map(p *des.Proc, buf *Buffer, off, length int, access Access
 		panic("ibsim: FMR map larger than handle max (caller must use the fall-back path)")
 	}
 	h := f.hca
+	if f.remaps > 0 {
+		if h.cfg.FMRKeyRotate {
+			// Fresh tag per remap: a peer holding the previous cycle's rkey
+			// faults instead of silently addressing the new mapping.
+			f.rkey = h.allocTag()
+			h.node.fab.Counters.Inc("fmr.key_rotations")
+		} else {
+			// Pool-time tag reused across mappings — the remap window the
+			// adversary's stale-rkey probe exploits.
+			h.node.fab.Counters.Inc("fmr.remap_reuse")
+		}
+	}
 	pages := h.pages(length)
 	start := p.Now()
 	h.node.CPU.Work(p, des.Duration(pages)*h.cfg.FMRMapCPU)

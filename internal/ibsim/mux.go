@@ -146,6 +146,27 @@ func (q *QP) endpointDead(ep *QP) {
 	}
 }
 
+// TerminateEndpoint moves exactly one attached endpoint of a mux QP into the
+// error state, leaving the shared QP — and every sibling endpoint — healthy.
+// This is the server-initiated quarantine primitive: terminating a
+// misbehaving client must not take the shard's whole population down the way
+// Terminate on the shared QP would. Returns false when the stream is stale
+// (endpoint already gone), which makes repeated quarantine calls idempotent.
+func (q *QP) TerminateEndpoint(stream uint32, err error) bool {
+	if !q.mux {
+		panic("ibsim: TerminateEndpoint on a non-mux QP")
+	}
+	ep := q.peerFor(stream)
+	if ep == nil {
+		return false
+	}
+	if err == nil {
+		err = ErrQPError
+	}
+	ep.setError(err) // routes through endpointDead: slot freed, scoped CQE
+	return true
+}
+
 // IsMux reports whether this is a shared (multiplexed) QP.
 func (q *QP) IsMux() bool { return q.mux }
 

@@ -112,6 +112,14 @@ type CQE struct {
 	// gone.
 	Stream uint32
 
+	// SrcStream is the authenticated source of a received Send on a shared
+	// QP: the sending endpoint's own slot id, stamped by the fabric at
+	// delivery, never by the sender's software. Stream above is the
+	// sender's *claim* (SendWQE.Stream, attacker-controlled); a mismatch
+	// between the two is a spoofed message. Zero for traffic that did not
+	// originate on a mux endpoint.
+	SrcStream uint32
+
 	seq      uint64   // trace id, zero when tracing is off
 	postedAt des.Time // post time, for CQ-delivery latency
 }
@@ -584,13 +592,14 @@ func (q *QP) deliverSend(dp *des.Proc, w *SendWQE, attempt int) {
 		} else {
 			q.setError(err)
 		}
-		peer.RecvCQ.post(&CQE{WRID: r.WRID, Op: OpRecv, Err: err, QP: peer, Stream: w.Stream})
+		peer.RecvCQ.post(&CQE{WRID: r.WRID, Op: OpRecv, Err: err, QP: peer, Stream: w.Stream, SrcStream: q.stream})
 		q.complete(w, err, 0)
 		return
 	}
 	peer.RecvCQ.post(&CQE{
 		WRID: r.WRID, Op: OpRecv,
 		Bytes: len(w.Payload), Payload: w.Payload, QP: peer, Stream: w.Stream,
+		SrcStream: q.stream,
 	})
 	// Ack returns to the sender one latency later.
 	lat := latency(q.node, peer.node)

@@ -45,6 +45,12 @@ type DispatchOpts struct {
 	// ReplyBuf is a transport-provided reply staging buffer (see
 	// ServerRequest.ReplyBuf).
 	ReplyBuf *Bulk
+	// Peer is the transport-authenticated identity of the calling machine
+	// (e.g. the node name behind the connection). When set, the DRC keys
+	// replay state by it instead of the forgeable AUTH_SYS machine-name
+	// credential — a client lying about Cred.Machine can then neither read
+	// another machine's cached replies nor pre-poison its replay keys.
+	Peer string
 }
 
 // Dispatch executes one raw call message and returns the marshaled reply
@@ -61,8 +67,16 @@ func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (r
 	}
 	tr := p.Sim().Tracer()
 	key := clientKey{xid: hdr.XID, prog: hdr.Prog, proc: hdr.Proc}
+	// DRC identity: the transport-authenticated peer when the transport
+	// knows one, else the (spoofable) credential machine name. Trace labels
+	// keep the credential — what the client *claimed* is the interesting
+	// datum when the two diverge.
+	drcID := hdr.Cred.Machine
+	if opts.Peer != "" {
+		drcID = opts.Peer
+	}
 	if d.drc != nil {
-		switch e, state := d.drc.lookup(hdr.Cred.Machine, key); state {
+		switch e, state := d.drc.lookup(drcID, key); state {
 		case drcHit:
 			// Retransmission: replay the cached reply without re-executing.
 			if tr != nil {
@@ -89,7 +103,7 @@ func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (r
 		cache = cl.NonIdempotent(hdr.Proc)
 	}
 	if cache {
-		d.drc.begin(hdr.Cred.Machine, key)
+		d.drc.begin(drcID, key)
 	}
 	dispatchStart := p.Now()
 	resp := svc.Handle(p, &ServerRequest{
@@ -109,7 +123,7 @@ func (d *Dispatcher) Dispatch(p *des.Proc, rawCall []byte, opts DispatchOpts) (r
 	}
 	reply = EncodeReply(hdr.XID, resp.Stat, resp.Results)
 	if cache {
-		d.drc.commit(hdr.Cred.Machine, key, reply, resp.Bulk)
+		d.drc.commit(drcID, key, reply, resp.Bulk)
 	}
 	return reply, resp.Bulk, nil
 }

@@ -114,6 +114,27 @@ type Config struct {
 	// completion-to-CPU affinity effect of the xprtrdma receive path.
 	// Server side, sharded dispatch only.
 	Affinity bool
+
+	// TrustStreamClaims disables the server's authenticated-source check on
+	// multiplexed receives. By default a message whose claimed stream
+	// (SendWQE.Stream, attacker-controlled) differs from the fabric-stamped
+	// source endpoint (CQE.SrcStream) is dropped and the real sender
+	// penalized; with this set the server believes the claim — the
+	// pre-hardening behaviour the adversary experiments measure. Server
+	// side, multiplexed mode only.
+	TrustStreamClaims bool
+
+	// TrustCredDRC keys the duplicate request cache by the call's AUTH_SYS
+	// machine-name credential (forgeable by any client) instead of the
+	// transport-authenticated peer node name. Pre-hardening behaviour, kept
+	// for the adversary's DRC-forgery measurements. Server side only.
+	TrustCredDRC bool
+
+	// QuarantineThreshold terminates a connection once its misbehavior
+	// score (rejected DONEs, spoofed stream claims) reaches this value. On
+	// a shared mux QP the termination is endpoint-scoped — only the
+	// offender dies. Zero disables quarantine. Server side only.
+	QuarantineThreshold int
 }
 
 // hasSerial reports whether the serialized-path model is enabled.

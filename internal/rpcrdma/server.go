@@ -43,6 +43,19 @@ type serverConn struct {
 	// server sends toward this client must be stamped with it.
 	stream uint32
 
+	// peerName is the transport-authenticated node name behind this
+	// connection, recorded at accept time. The DRC keys replay state by it
+	// (unless Config.TrustCredDRC), so a forged AUTH_SYS machine credential
+	// cannot collide with another client's replay keys.
+	peerName string
+
+	// misbehavior scores protocol violations attributed to this connection
+	// (rejected DONEs, spoofed stream claims); quarantined latches once the
+	// score crosses Config.QuarantineThreshold and the connection is
+	// terminated, so the Quarantines stat counts each offender once.
+	misbehavior int
+	quarantined bool
+
 	// dead marks the connection's lifecycle state: once set (by connDead)
 	// the transport drops this connection's queued tasks instead of serving
 	// them and releases replies instead of parking them — no reply can ever
@@ -133,6 +146,12 @@ type ServerTransport struct {
 	ShortWrites   int64 // replies whose bulk exceeded the client's chunk capacity
 	TasksDropped  int64 // queued tasks discarded because their connection died
 	Deposits      int64 // reply-fetch replies deposited into client slots (no Send)
+
+	// Hardening stats (see the adversary engine).
+	DoneRejected     int64 // DONEs naming no parked reply on the sender's connection
+	SpoofDrops       int64 // mux receives dropped for a forged stream claim
+	CrossClientFrees int64 // parked replies freed by a DONE from a different endpoint (trust mode only)
+	Quarantines      int64 // connections terminated by misbehavior scoring
 }
 
 // NewServerTransport creates the server engine and starts its worker pool.
@@ -296,6 +315,9 @@ func (s *ServerTransport) TryServe(qp *ibsim.QP) bool {
 	s.liveConns++
 	s.ConnsAccepted++
 	conn := &serverConn{srv: s, qp: qp, id: s.connSeq}
+	if peer := qp.Peer(); peer != nil {
+		conn.peerName = peer.Node().Name()
+	}
 	if s.cfg.DynamicCredits {
 		conn.replySlots = des.NewResource(s.node.Sim(), s.node.Name()+"/conn-replypool", s.cfg.ReplyBufPool)
 	}
@@ -328,7 +350,7 @@ func (s *ServerTransport) TryServe(qp *ibsim.QP) bool {
 			if hdr.Type == MsgDone {
 				// Served inline: a DONE queued behind data calls can
 				// deadlock the reply-slot pool (see handleDone).
-				s.handleDone(p, conn, hdr.XID)
+				s.handleDone(p, conn, hdr.XID, cqe.SrcStream)
 				continue
 			}
 			s.workQ.Put(&serverTask{conn: conn, hdr: hdr, body: body})
@@ -366,7 +388,7 @@ func (s *ServerTransport) TryAttach(client *ibsim.Node) (*ibsim.QP, int, bool) {
 	}
 	s.liveConns++
 	s.ConnsAccepted++
-	conn := &serverConn{srv: s, qp: sh.muxQP, id: s.connSeq, stream: ep.Stream(), shard: sh}
+	conn := &serverConn{srv: s, qp: sh.muxQP, id: s.connSeq, stream: ep.Stream(), shard: sh, peerName: client.Name()}
 	if s.cfg.DynamicCredits {
 		conn.replySlots = des.NewResource(s.node.Sim(), s.node.Name()+"/conn-replypool", s.cfg.ReplyBufPool)
 	}
@@ -437,7 +459,15 @@ func (c *serverConn) traceKey(xid uint32) uint64 { return c.id<<32 | uint64(xid)
 // queueing DONEs behind data calls deadlocks the Read-Read design under
 // open-loop overload — every worker blocks reserving a reply slot while the
 // DONEs that would free the slots sit unserved behind them.
-func (s *ServerTransport) handleDone(p *des.Proc, conn *serverConn, xid uint32) {
+//
+// src is the fabric-authenticated source stream of the message (CQE.
+// SrcStream): zero on dedicated connections, the sender's own slot id on a
+// shared QP. conn is the connection the DONE *claims* to speak for; with
+// stream-claim validation on, the two always agree by the time the message
+// gets here, but in trust mode (Config.TrustStreamClaims) a forged claim
+// reaches this point and a mismatched release is a cross-client free — the
+// spoofed-DONE attack landing.
+func (s *ServerTransport) handleDone(p *des.Proc, conn *serverConn, xid uint32, src uint32) {
 	s.DoneRecv++
 	if tr := s.node.Sim().Tracer(); tr != nil {
 		tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindDone, s.node.Name(), "done-recv", conn.traceKey(xid), 0)
@@ -448,7 +478,67 @@ func (s *ServerTransport) handleDone(p *des.Proc, conn *serverConn, xid uint32) 
 	if s.serial != nil {
 		s.serial.Use(p, 1, s.cfg.SerialBase)
 	}
-	s.releaseParked(p, connXID{conn, xid})
+	released := s.releaseParked(p, connXID{conn, xid})
+	forged := src != 0 && src != conn.stream
+	if !released {
+		// No reply is parked under this (connection, XID) pair: a guessed
+		// or replayed XID — or an honest DONE for a reply that had nothing
+		// to park (inline Read-Read replies carry no chunks, but the client
+		// acknowledges unconditionally). The park map is keyed by
+		// connection, so even in trust mode a forged XID alone cannot free
+		// another client's reply — the forgery has to spoof the stream
+		// claim too.
+		s.DoneRejected++
+	} else if forged {
+		// Trust mode released a park on the strength of a forged stream
+		// claim: the attacker just freed a reply it does not own.
+		s.CrossClientFrees++
+	}
+	// Only a provably forged message scores misbehavior: a missing park is
+	// indistinguishable from a benign inline-reply acknowledgement, and
+	// punishing it would let an attacker get honest clients quarantined —
+	// or quarantine them outright (the fabric-stamped source is the one
+	// thing the sender cannot fake).
+	if forged {
+		s.penalize(p, s.offender(conn, src))
+	}
+}
+
+// offender resolves the connection to blame for a bad message: the
+// authenticated source endpoint when the message arrived on a shared QP
+// under a forged claim, else the connection it arrived on.
+func (s *ServerTransport) offender(conn *serverConn, src uint32) *serverConn {
+	if src != 0 && src != conn.stream && conn.shard != nil {
+		if c := conn.shard.eps[src]; c != nil {
+			return c
+		}
+	}
+	return conn
+}
+
+// penalize bumps a connection's misbehavior score and, once it crosses the
+// configured threshold, terminates the offender — endpoint-scoped on a
+// shared QP, so quarantining an attacker never takes innocent endpoints
+// down with it.
+func (s *ServerTransport) penalize(p *des.Proc, conn *serverConn) {
+	if conn == nil {
+		return
+	}
+	conn.misbehavior++
+	if s.cfg.QuarantineThreshold <= 0 || conn.quarantined || conn.dead ||
+		conn.misbehavior < s.cfg.QuarantineThreshold {
+		return
+	}
+	conn.quarantined = true
+	s.Quarantines++
+	if tr := s.node.Sim().Tracer(); tr != nil {
+		tr.Instant(int64(p.Now()), trace.LayerRPC, trace.KindDone, s.node.Name(), "quarantine", conn.traceKey(0), int64(conn.misbehavior))
+	}
+	if conn.stream != 0 {
+		conn.qp.TerminateEndpoint(conn.stream, ErrQuarantined)
+	} else {
+		conn.qp.Terminate(ErrQuarantined)
+	}
 }
 
 // handle wraps the real handler in a serve span while tracing. wcpu is the
@@ -480,7 +570,7 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask, wcpu int) {
 		return
 	}
 	if hdr.Type == MsgDone {
-		s.handleDone(p, task.conn, hdr.XID)
+		s.handleDone(p, task.conn, hdr.XID, 0)
 		return
 	}
 	s.Requests++
@@ -591,10 +681,15 @@ func (s *ServerTransport) handle1(p *des.Proc, task *serverTask, wcpu int) {
 	}
 
 	// --- File system ---
+	peer := task.conn.peerName
+	if s.cfg.TrustCredDRC {
+		peer = "" // fall back to the forgeable credential machine name
+	}
 	reply, bulkOut, err := s.dispatcher.Dispatch(p, callBytes, oncrpc.DispatchOpts{
 		Bulk:        bulkIn,
 		RecvBulkCap: recvCap,
 		ReplyBuf:    replyBuf,
+		Peer:        peer,
 	})
 	if bulkInChk != nil {
 		s.mgr.Put(p, bulkInChk)
@@ -1081,11 +1176,12 @@ func (s *ServerTransport) traceShortWrite(p *des.Proc, task *serverTask, xid uin
 	}
 }
 
-// releaseParked frees the buffers of one acknowledged reply.
-func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) {
+// releaseParked frees the buffers of one acknowledged reply, reporting
+// whether anything was parked under the key.
+func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) bool {
 	pr, ok := s.parked[key]
 	if !ok {
-		return
+		return false
 	}
 	delete(s.parked, key)
 	if tr := s.node.Sim().Tracer(); tr != nil {
@@ -1102,6 +1198,7 @@ func (s *ServerTransport) releaseParked(p *des.Proc, key connXID) {
 	} else {
 		s.replySlots.Release(1)
 	}
+	return true
 }
 
 // postWithEvent posts a WQE toward conn's client; its completion fires ev.

@@ -151,6 +151,16 @@ func (sh *serverShard) recvLoop(p *des.Proc) {
 		// Return the consumed WQE to the shared pool straight away; the
 		// refill loop is only a safety net for bursts that outrun this.
 		sh.srq.PostRecv(cqe.WRID, s.cfg.recvBufSize())
+		if cqe.SrcStream != 0 && cqe.Stream != cqe.SrcStream && !s.cfg.TrustStreamClaims {
+			// The sender's claimed stream differs from the slot the fabric
+			// says it actually posted from: a spoofed message trying to
+			// speak as another endpoint (forged DONEs, forged calls against
+			// the DRC). Drop it and score the *authentic* sender — the
+			// claimed endpoint is the victim, not the offender.
+			s.SpoofDrops++
+			s.penalize(p, sh.eps[cqe.SrcStream])
+			continue
+		}
 		if conn == nil || conn.dead {
 			continue
 		}
@@ -161,7 +171,7 @@ func (sh *serverShard) recvLoop(p *des.Proc) {
 		if hdr.Type == MsgDone {
 			// Served inline: a DONE queued behind data calls can deadlock
 			// the reply-slot pool (see handleDone).
-			s.handleDone(p, conn, hdr.XID)
+			s.handleDone(p, conn, hdr.XID, cqe.SrcStream)
 			continue
 		}
 		sh.requests++
